@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one of the paper's tables or figures and prints it;
+``pytest benchmarks/ --benchmark-only`` therefore doubles as the repro run.
+The heavyweight Fig. 7 experiment is computed once per session and shared
+by the performance, tuning-time, headline, and wrong-method benches.
+
+Environment knobs:
+
+* ``REPRO_FULL=1``  — also tune with the ref data set (the right bars of
+  Fig. 7); default tunes with train only, the paper's appropriate choice.
+* ``REPRO_SAMPLES`` — samples per window for Table 1 (default 10).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import figure7_experiment
+from repro.machine import PENTIUM4, SPARC2
+
+
+def fig7_datasets() -> tuple[str, ...]:
+    return ("train", "ref") if os.environ.get("REPRO_FULL") == "1" else ("train",)
+
+
+_FIG7_CACHE: dict[str, list] = {}
+
+
+def fig7_entries(machine_name: str) -> list:
+    """Session-cached Fig. 7 entries for one machine."""
+    if machine_name not in _FIG7_CACHE:
+        machine = {"sparc2": SPARC2, "pentium4": PENTIUM4}[machine_name]
+        _FIG7_CACHE[machine_name] = figure7_experiment(
+            machine, datasets=fig7_datasets(), seed=1
+        )
+    return _FIG7_CACHE[machine_name]
+
+
+@pytest.fixture(scope="session")
+def samples_per_window() -> int:
+    return int(os.environ.get("REPRO_SAMPLES", "10"))

@@ -1,0 +1,80 @@
+"""Bench E11 — ablation: Iterative Elimination vs pluggable alternatives.
+
+The paper uses IE [11] but notes "alternative pruning algorithms [2, 13]
+could also be plugged into our system".  This bench tunes SWIM on the
+Pentium 4 over a 10-flag subspace with five search strategies and reports
+the quality/cost trade-off: achieved improvement vs number of ratings.
+
+Expected shape: IE and exhaustive-ish strategies find the full improvement;
+Batch Elimination (one pass) comes close at lower cost; random search is
+budget-bound; greedy construction builds an equivalent set from below.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PeakTuner, evaluate_speedup
+from repro.core.search import (
+    BatchElimination,
+    FractionalFactorial,
+    GreedyConstruction,
+    IterativeElimination,
+    RandomSearch,
+)
+from repro.experiments import render_table
+from repro.machine import PENTIUM4
+from repro.workloads import get_workload
+
+FLAGS = (
+    "schedule-insns", "schedule-insns2", "strict-aliasing", "gcse",
+    "loop-optimize", "if-conversion", "rerun-loop-opt", "peephole2",
+    "guess-branch-probability", "caller-saves",
+)
+
+ALGORITHMS = {
+    "IE": IterativeElimination(),
+    "BE": BatchElimination(),
+    "FFD": FractionalFactorial(seed=5),
+    "RAND": RandomSearch(n_samples=30, seed=5),
+    "GREEDY": GreedyConstruction(),
+}
+
+
+def run_search_comparison():
+    w = get_workload("swim")
+    out = {}
+    for name, algo in ALGORITHMS.items():
+        tuner = PeakTuner(PENTIUM4, seed=4, search=algo, profile_limit=60)
+        res = tuner.tune(w, flags=FLAGS)
+        imp = evaluate_speedup(w, res.best_config, PENTIUM4, runs=1)
+        out[name] = (imp, res.search.n_ratings, res.best_config)
+    return out
+
+
+def test_bench_search_algorithms(benchmark):
+    results = benchmark.pedantic(run_search_comparison, rounds=1, iterations=1)
+    print()
+    rows = [
+        [name, f"{imp:7.2f}", str(n)]
+        for name, (imp, n, _) in results.items()
+    ]
+    print(render_table(["Search", "Improvement %", "#ratings"], rows,
+                       title="E11: search-algorithm ablation (SWIM / Pentium 4)"))
+
+    ie_imp, ie_n, ie_cfg = results["IE"]
+    assert ie_imp > 5.0  # IE finds the schedule-insns spill
+    assert "schedule-insns" not in ie_cfg
+
+    # BE is cheaper than IE (O(n) vs O(n^2) worst case)
+    be_imp, be_n, _ = results["BE"]
+    assert be_n <= ie_n
+    assert be_imp > 0.0
+
+    # every strategy stays within its rating budget
+    assert results["RAND"][1] <= 30
+    assert results["FFD"][1] <= 2 * len(FLAGS) + 2
+
+    # nobody should *degrade* the program meaningfully
+    for name, (imp, _, _) in results.items():
+        assert imp > -2.0, name

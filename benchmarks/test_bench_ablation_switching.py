@@ -1,0 +1,49 @@
+"""Bench E10 — ablation: rating-method switching (paper Section 3).
+
+"If the system cannot achieve enough accuracy, i.e. get a small VAR, within
+some number of invocations, it switches to the next applicable rating
+method."
+
+APSI's ``radb4`` has three contexts that each receive only a third of the
+invocations.  With a tight invocation budget and a large window, CBR
+starves (the dominant context cannot fill a window before the budget runs
+out) and the engine must fall back to MBR, which uses *every* invocation
+regardless of context and converges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PeakTuner
+from repro.core.rating import RatingSettings
+from repro.machine import SPARC2
+from repro.workloads import get_workload
+
+
+def run_switching():
+    w = get_workload("apsi")
+    starved = RatingSettings(window=40, max_invocations=70)
+    tuner = PeakTuner(SPARC2, seed=2, settings=starved, profile_limit=60)
+    res_switched = tuner.tune(w, flags=("schedule-insns", "gcse"))
+
+    roomy = RatingSettings(window=12, max_invocations=400)
+    tuner2 = PeakTuner(SPARC2, seed=2, settings=roomy, profile_limit=60)
+    res_stayed = tuner2.tune(w, flags=("schedule-insns", "gcse"))
+    return res_switched, res_stayed
+
+
+def test_bench_method_switching(benchmark):
+    switched, stayed = benchmark.pedantic(run_switching, rounds=1, iterations=1)
+    print()
+    print(f"starved CBR:  tried {switched.methods_tried} -> used {switched.method_used}")
+    print(f"roomy budget: tried {stayed.methods_tried} -> used {stayed.method_used}")
+
+    # the starved configuration had to switch away from CBR
+    assert switched.methods_tried[0] == "CBR"
+    assert len(switched.methods_tried) > 1
+    assert switched.method_used in ("MBR", "RBR")
+
+    # with a sane budget, CBR suffices (3 contexts, noise averages out)
+    assert stayed.methods_tried == ["CBR"]
+    assert stayed.method_used == "CBR"

@@ -1,0 +1,69 @@
+"""Benches E5/E6 — regenerate Fig. 7(c)/(d): normalized tuning time vs WHL.
+
+Uses the session-cached Fig. 7 entries (the experiment runs once; see
+conftest) and prints each method's tuning time normalised by the WHL
+approach on the same benchmark/machine/dataset.
+
+Expected shape vs the paper:
+* "In most cases, tuning time is reduced by more than a factor of ten" —
+  normalised times well below 1 for the PEAK-suggested methods;
+* "using the wrong rating approach may increase tuning time":
+  MGRID_CBR (too many contexts) ≫ MGRID_MBR, and SWIM_RBR ≫ SWIM_CBR.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import fig7_entries
+from repro.experiments import render_table
+
+
+def _render(entries, machine: str) -> str:
+    headers = ["Benchmark", "Method", "Dataset", "Tuning time / WHL", "Suggested"]
+    rows = [
+        [e.benchmark, e.method, e.dataset, f"{e.normalized_tuning_time:7.3f}",
+         "*" if e.suggested else ""]
+        for e in entries
+    ]
+    panel = "(c)" if machine == "sparc2" else "(d)"
+    return render_table(
+        headers, rows,
+        title=f"Figure 7{panel}: tuning time normalised over WHL on {machine}",
+    )
+
+
+@pytest.mark.parametrize("machine", ["sparc2", "pentium4"])
+def test_bench_fig7_tuning_time(benchmark, machine):
+    entries = benchmark.pedantic(
+        fig7_entries, args=(machine,), rounds=1, iterations=1
+    )
+    print()
+    print(_render(entries, machine))
+
+    train = {(e.benchmark, e.method): e for e in entries if e.dataset == "train"}
+
+    # sanity: WHL normalises to exactly 1
+    for bench in ("swim", "mgrid", "art", "equake"):
+        assert train[(bench, "WHL")].normalized_tuning_time == pytest.approx(1.0)
+
+    # the PEAK-suggested method reduces tuning time substantially
+    for (bench, method), e in train.items():
+        if e.suggested:
+            assert e.normalized_tuning_time < 0.5, (bench, method)
+
+    # wrong-method narrative (paper Section 5.2):
+    mgrid_cbr = train[("mgrid", "CBR")].normalized_tuning_time
+    mgrid_mbr = train[("mgrid", "MBR")].normalized_tuning_time
+    assert mgrid_cbr > 3 * mgrid_mbr, "MGRID_CBR should pay for its many contexts"
+
+    swim_cbr = train[("swim", "CBR")].normalized_tuning_time
+    swim_rbr = train[("swim", "RBR")].normalized_tuning_time
+    assert swim_rbr > 2 * swim_cbr, "SWIM_RBR should pay re-execution overhead"
+
+    # every normalised time is finite and positive
+    for e in entries:
+        assert math.isfinite(e.normalized_tuning_time)
+        assert e.normalized_tuning_time > 0

@@ -1,0 +1,36 @@
+"""Bench E7 — the paper's headline aggregates.
+
+Paper: "up to 178% performance improvements (26% on average)" and "a
+reduction in program tuning time of up to 96% (80% on average)".
+
+Aggregated over the PEAK-suggested rating method for each of the four
+benchmarks on both machines, tuning with the train data set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import fig7_entries
+from repro.experiments import summarize
+
+
+def both_machines():
+    return fig7_entries("sparc2") + fig7_entries("pentium4")
+
+
+def test_bench_headline_summary(benchmark):
+    entries = benchmark.pedantic(both_machines, rounds=1, iterations=1)
+    summary = summarize(entries, dataset="train")
+    print()
+    print("Headline (paper: up to 178% improvement, 26% avg; "
+          "up to 96% tuning-time cut, 80% avg):")
+    print("  " + summary.render())
+
+    # Shape, not absolute numbers: a >100% max improvement dominated by one
+    # case (ART/P4), a positive average, and large tuning-time reductions.
+    assert summary.n_cases == 8  # 4 benchmarks x 2 machines
+    assert summary.max_improvement_pct > 100.0
+    assert 5.0 < summary.mean_improvement_pct < 80.0
+    assert summary.max_tuning_time_reduction_pct > 85.0
+    assert summary.mean_tuning_time_reduction_pct > 55.0

@@ -1,0 +1,45 @@
+"""Bench E1 — Fig. 2: the MBR worked example.
+
+The paper's Fig. 2 shows a two-component tuning section whose regression
+over Y = [11015, 5508, 6626, 6044, 8793] and counts [100, 50, 60, 55, 80]
+yields T = [110.05, 3.75], giving the version a rating of 110.05 (the first
+component dominates).  This bench reproduces the numbers exactly and also
+times the regression primitive at realistic window sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rating import regression_var, solve_component_times
+
+Y_PAPER = np.array([11015.0, 5508.0, 6626.0, 6044.0, 8793.0])
+C_PAPER = np.array(
+    [
+        [100.0, 50.0, 60.0, 55.0, 80.0],
+        [1.0, 1.0, 1.0, 1.0, 1.0],
+    ]
+)
+
+
+def test_bench_fig2_regression(benchmark):
+    T = benchmark(solve_component_times, Y_PAPER, C_PAPER)
+    print()
+    print(f"Fig. 2 component-time vector T = [{T[0]:.2f}, {T[1]:.2f}] "
+          "(paper: [110.05, 3.75])")
+    assert T[0] == pytest.approx(110.05, abs=0.5)
+    # the tail component's contribution is tiny; rating = T1 = 110.05
+    rating = float(T[0])
+    assert rating == pytest.approx(110.05, abs=0.5)
+    assert regression_var(Y_PAPER, C_PAPER, T) < 1e-4
+
+
+def test_bench_regression_window160(benchmark):
+    """MBR's per-rating cost at the paper's largest window size."""
+    rng = np.random.default_rng(0)
+    counts = rng.integers(10, 200, size=160).astype(float)
+    C = np.vstack([counts, np.ones(160)])
+    Y = np.array([110.0, 4.0]) @ C * (1 + rng.normal(0, 0.02, size=160))
+    T = benchmark(solve_component_times, Y, C)
+    assert T[0] == pytest.approx(110.0, rel=0.05)

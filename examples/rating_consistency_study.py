@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Rating-consistency study (a slice of the paper's Table 1).
+
+Measures how consistent each rating method's decisions are on three
+contrasting benchmarks:
+
+* SWIM / calc3  — regular stencil, one context: CBR at its best;
+* EQUAKE / smvp — sparse matvec, irregular memory: CBR with more variance;
+* BZIP2 / fullGtU — data-dependent integer code: RBR territory.
+
+For each, ratings are sampled with windows w = 10..160 and the study prints
+mean and standard deviation of the rating errors (×100, like Table 1),
+demonstrating the paper's central consistency claim: means stay near zero
+and deviations shrink as the window grows.
+
+Run:  python examples/rating_consistency_study.py
+"""
+
+from repro.experiments import DEFAULT_WINDOWS, consistency_experiment, render_table
+from repro.machine import SPARC2
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    rows = []
+    for name in ("swim", "equake", "bzip2"):
+        workload = get_workload(name)
+        rows.extend(
+            consistency_experiment(workload, SPARC2, samples_per_window=8, seed=1)
+        )
+
+    headers = ["Benchmark", "TS", "Method"] + [f"w={w}" for w in DEFAULT_WINDOWS]
+    table = []
+    for r in rows:
+        cells = [r.benchmark, r.tuning_section, r.method]
+        for w in DEFAULT_WINDOWS:
+            m, s = r.stats.get(w, (float("nan"), float("nan")))
+            cells.append(f"{m:+.2f}({s:.2f})")
+        table.append(cells)
+    print(render_table(headers, table,
+                       title="Rating consistency: Mean(StdDev) * 100"))
+
+    print()
+    for r in rows:
+        stds = r.stds()
+        trend = " -> ".join(f"{s:.2f}" for s in stds)
+        print(f"{r.benchmark:8s} σ trend over windows: {trend}")
+    print("\nLike the paper's Table 1: deviations fall roughly as 1/sqrt(w), "
+          "and the irregular-memory EQUAKE is noisier than the cache-resident "
+          "SWIM.")
+
+
+if __name__ == "__main__":
+    main()

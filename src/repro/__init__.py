@@ -1,0 +1,88 @@
+"""repro — reproduction of "Rating Compiler Optimizations for Automatic
+Performance Tuning" (Pan & Eigenmann, SC 2004).
+
+The public API re-exports the pieces a downstream user needs:
+
+* the PEAK tuning driver and rating methods (:mod:`repro.core`),
+* the simulated compiler with its 38 ``-O3`` flags (:mod:`repro.compiler`),
+* the machine models (:mod:`repro.machine`),
+* the SPEC-analog workloads (:mod:`repro.workloads`),
+* the IR and analyses for building custom tuning sections
+  (:mod:`repro.ir`, :mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import PeakTuner, SPARC2, get_workload
+
+    tuner = PeakTuner(SPARC2, seed=1)
+    result = tuner.tune(get_workload("swim"))
+    print(result.method_used, result.best_config.describe())
+"""
+
+from .compiler import ALL_FLAGS, OptConfig, Version, compile_version
+from .core import (
+    PeakTuner,
+    TuningResult,
+    evaluate_speedup,
+    measure_whole_program,
+    select_tuning_sections,
+)
+from .core.rating import (
+    AverageRating,
+    ContextBasedRating,
+    ModelBasedRating,
+    RatingSettings,
+    ReExecutionRating,
+    WholeProgramRating,
+    consult,
+)
+from .core.search import (
+    BatchElimination,
+    CombinedElimination,
+    ExhaustiveSearch,
+    FractionalFactorial,
+    GreedyConstruction,
+    IterativeElimination,
+    OptimizationSpaceExploration,
+    RandomSearch,
+)
+from .machine import MACHINES, PENTIUM4, SPARC2, Executor, machine_by_name
+from .workloads import TUNED_BENCHMARKS, WORKLOAD_NAMES, Workload, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_FLAGS",
+    "AverageRating",
+    "BatchElimination",
+    "CombinedElimination",
+    "ContextBasedRating",
+    "Executor",
+    "ExhaustiveSearch",
+    "FractionalFactorial",
+    "GreedyConstruction",
+    "IterativeElimination",
+    "MACHINES",
+    "ModelBasedRating",
+    "OptConfig",
+    "OptimizationSpaceExploration",
+    "PENTIUM4",
+    "PeakTuner",
+    "RandomSearch",
+    "RatingSettings",
+    "ReExecutionRating",
+    "SPARC2",
+    "TUNED_BENCHMARKS",
+    "TuningResult",
+    "Version",
+    "WORKLOAD_NAMES",
+    "WholeProgramRating",
+    "Workload",
+    "compile_version",
+    "consult",
+    "evaluate_speedup",
+    "get_workload",
+    "machine_by_name",
+    "measure_whole_program",
+    "select_tuning_sections",
+]

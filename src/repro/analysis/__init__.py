@@ -1,0 +1,57 @@
+"""Compiler analyses over the reproduction IR.
+
+These implement the program analysis the paper's Sections 2 and 3 rely on:
+
+* ``liveness`` / ``defs`` — ``Input(TS)``, ``Def(TS)``, ``Modified_Input(TS)``
+  for re-execution-based rating (RBR);
+* ``context`` — the Fig. 1 context-variable analysis deciding CBR
+  applicability, with ``pointsto`` supplying the pointer-stability test and
+  ``runtime_const`` removing run-time constants;
+* ``components`` + ``trip_count`` — the MBR execution-time model: affine
+  merging of basic-block counts and symbolic trip counts for regular loops;
+* ``dataflow`` / ``dominators`` / ``loops`` / ``usedef`` — the underlying
+  machinery, also used by the optimization passes in :mod:`repro.compiler`.
+"""
+
+from .components import Component, ComponentModel, build_components
+from .context import ContextAnalysis, ContextVarSpec, analyze_context, context_key
+from .defs import classify_stores, def_set, has_irregular_stores, StoreInfo
+from .dominators import dominates, dominators, immediate_dominators
+from .liveness import input_set, live_in, live_out, modified_input_set
+from .loops import Loop, loop_nest_depths, natural_loops
+from .pointsto import PointsToResult, points_to
+from .runtime_const import refine_context, runtime_constants
+from .trip_count import TripCount, analyze_trip_counts
+from .usedef import DefSite, ReachingDefs
+
+__all__ = [
+    "Component",
+    "ComponentModel",
+    "ContextAnalysis",
+    "ContextVarSpec",
+    "DefSite",
+    "Loop",
+    "PointsToResult",
+    "ReachingDefs",
+    "StoreInfo",
+    "TripCount",
+    "analyze_context",
+    "analyze_trip_counts",
+    "build_components",
+    "classify_stores",
+    "context_key",
+    "def_set",
+    "dominates",
+    "dominators",
+    "has_irregular_stores",
+    "immediate_dominators",
+    "input_set",
+    "live_in",
+    "live_out",
+    "loop_nest_depths",
+    "modified_input_set",
+    "natural_loops",
+    "points_to",
+    "refine_context",
+    "runtime_constants",
+]

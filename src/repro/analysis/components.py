@@ -1,0 +1,150 @@
+"""MBR component construction (Section 2.3).
+
+The execution-time model starts as ``T_TS = Σ T_b · C_b`` over basic blocks
+(Eq. 1).  After a profile run, blocks whose entry counts are affinely
+dependent across all invocations (``C_b1 = α·C_b2 + β``) are merged into a
+single *component* (Eq. 2), and counters for merged blocks are removed —
+only one representative counter per component survives, plus the implicit
+constant component with ``C_n = 1``.
+
+``build_components`` performs the merging from profiled per-invocation block
+counts; ``ComponentModel.design_matrix`` builds the ``C`` matrix of the
+paper's Fig. 2 for the tuning-time linear regression ``Y = T · C`` (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Component", "ComponentModel", "build_components"]
+
+
+@dataclass(frozen=True)
+class Component:
+    """One merged component: a representative block plus affine followers."""
+
+    representative: str
+    #: block label -> (alpha, beta) with C_block = alpha*C_rep + beta
+    members: tuple[tuple[str, tuple[float, float]], ...]
+
+    def block_labels(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.members)
+
+
+@dataclass
+class ComponentModel:
+    """The merged execution-time model of one tuning section."""
+
+    components: list[Component]
+    #: blocks whose count was identical in every profiled invocation; they are
+    #: absorbed by the constant component (paper simplification (3))
+    constant_blocks: tuple[str, ...]
+    #: the constant count per block, for bookkeeping
+    constant_counts: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_components(self) -> int:
+        """Number of regression unknowns: variable components + constant."""
+        return len(self.components) + 1
+
+    def counter_blocks(self) -> tuple[str, ...]:
+        """Blocks that must keep a counter after instrumentation pruning."""
+        return tuple(c.representative for c in self.components)
+
+    def design_matrix(self, rep_counts: Mapping[str, Sequence[float]]) -> np.ndarray:
+        """Build the component-count matrix ``C`` (n_components × n_invocations).
+
+        *rep_counts* maps representative block labels to their per-invocation
+        counts (gathered by the surviving counters during tuning).  The final
+        row is the constant component (all ones), as in Fig. 2(b).
+        """
+        if not self.components:
+            lengths = [len(v) for v in rep_counts.values()]
+            n = lengths[0] if lengths else 0
+            return np.ones((1, n))
+        cols = None
+        rows = []
+        for comp in self.components:
+            counts = np.asarray(rep_counts[comp.representative], dtype=float)
+            if cols is None:
+                cols = counts.shape[0]
+            elif counts.shape[0] != cols:
+                raise ValueError("inconsistent invocation counts across components")
+            rows.append(counts)
+        rows.append(np.ones(cols))
+        return np.vstack(rows)
+
+    def average_counts(self, rep_counts: Mapping[str, Sequence[float]]) -> np.ndarray:
+        """``C_avg``: the average count of each component over a run (Eq. 4)."""
+        avgs = [
+            float(np.mean(np.asarray(rep_counts[c.representative], dtype=float)))
+            for c in self.components
+        ]
+        avgs.append(1.0)
+        return np.asarray(avgs)
+
+
+def _affine_fit(x: np.ndarray, y: np.ndarray, rtol: float) -> tuple[float, float] | None:
+    """Fit ``y ≈ alpha*x + beta``; return coefficients iff the fit is exact
+    within *rtol* (relative to the magnitude of y)."""
+    A = np.vstack([x, np.ones_like(x)]).T
+    coef, *_ = np.linalg.lstsq(A, y, rcond=None)
+    resid = A @ coef - y
+    scale = max(1.0, float(np.max(np.abs(y))))
+    if float(np.max(np.abs(resid))) <= rtol * scale:
+        return float(coef[0]), float(coef[1])
+    return None
+
+
+def build_components(
+    block_counts: Mapping[str, Sequence[float]],
+    *,
+    rtol: float = 1e-9,
+) -> ComponentModel:
+    """Merge profiled block counts into components.
+
+    *block_counts* maps block label → per-invocation entry counts from the
+    profile run.  Deterministic: blocks are scanned in sorted label order;
+    the first non-constant block of each affine class becomes the
+    representative.
+    """
+    labels = sorted(block_counts)
+    arrays = {
+        label: np.asarray(block_counts[label], dtype=float) for label in labels
+    }
+    lengths = {a.shape[0] for a in arrays.values()}
+    if len(lengths) > 1:
+        raise ValueError("all blocks must be profiled over the same invocations")
+
+    constant: list[str] = []
+    constant_counts: dict[str, float] = {}
+    groups: list[tuple[str, list[tuple[str, tuple[float, float]]]]] = []
+
+    for label in labels:
+        y = arrays[label]
+        if y.size == 0 or float(np.ptp(y)) == 0.0:
+            constant.append(label)
+            constant_counts[label] = float(y[0]) if y.size else 0.0
+            continue
+        placed = False
+        for rep, members in groups:
+            fit = _affine_fit(arrays[rep], y, rtol)
+            if fit is not None:
+                members.append((label, fit))
+                placed = True
+                break
+        if not placed:
+            groups.append((label, [(label, (1.0, 0.0))]))
+
+    components = [
+        Component(representative=rep, members=tuple(members))
+        for rep, members in groups
+    ]
+    return ComponentModel(
+        components=components,
+        constant_blocks=tuple(constant),
+        constant_counts=constant_counts,
+    )

@@ -1,0 +1,105 @@
+"""A small iterative dataflow framework over IR CFGs.
+
+All concrete analyses (liveness, reaching definitions) are set-based
+union/worklist problems, so the framework exposes exactly that shape:
+monotone transfer functions over frozensets with union meet, iterated to a
+fixed point in (reverse-)postorder for fast convergence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Hashable, TypeVar
+
+from ..ir.cfg import CFG
+
+__all__ = ["solve_forward", "solve_backward"]
+
+T = TypeVar("T", bound=Hashable)
+
+Transfer = Callable[[str, FrozenSet[T]], FrozenSet[T]]
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: Transfer,
+    entry_value: FrozenSet[T] = frozenset(),
+) -> tuple[dict[str, FrozenSet[T]], dict[str, FrozenSet[T]]]:
+    """Solve a forward union dataflow problem.
+
+    ``transfer(label, in_set) -> out_set`` must be monotone.  Returns
+    ``(in_map, out_map)`` over reachable blocks.
+    """
+    order = cfg.rpo()
+    position = {label: i for i, label in enumerate(order)}
+    preds = cfg.predecessors_map()
+
+    in_map: dict[str, FrozenSet[T]] = {label: frozenset() for label in order}
+    out_map: dict[str, FrozenSet[T]] = {label: frozenset() for label in order}
+    in_map[cfg.entry] = entry_value
+
+    work = list(order)
+    in_work = set(order)
+    while work:
+        work.sort(key=position.__getitem__, reverse=True)
+        label = work.pop()
+        in_work.discard(label)
+
+        if label == cfg.entry:
+            new_in = entry_value
+        else:
+            acc: set[T] = set()
+            for p in preds[label]:
+                if p in out_map:
+                    acc |= out_map[p]
+            new_in = frozenset(acc)
+        new_out = transfer(label, new_in)
+        in_map[label] = new_in
+        if new_out != out_map[label]:
+            out_map[label] = new_out
+            for s in cfg.successors(label):
+                if s in position and s not in in_work:
+                    work.append(s)
+                    in_work.add(s)
+    return in_map, out_map
+
+
+def solve_backward(
+    cfg: CFG,
+    transfer: Transfer,
+    exit_value: FrozenSet[T] = frozenset(),
+) -> tuple[dict[str, FrozenSet[T]], dict[str, FrozenSet[T]]]:
+    """Solve a backward union dataflow problem.
+
+    ``transfer(label, out_set) -> in_set``.  Returns ``(in_map, out_map)``.
+    Exit blocks (``Return`` terminators) receive *exit_value* as their out-set.
+    """
+    order = cfg.rpo()
+    position = {label: i for i, label in enumerate(order)}
+    exits = set(cfg.exit_labels())
+
+    in_map: dict[str, FrozenSet[T]] = {label: frozenset() for label in order}
+    out_map: dict[str, FrozenSet[T]] = {label: frozenset() for label in order}
+
+    work = list(order)
+    in_work = set(order)
+    preds = cfg.predecessors_map()
+    while work:
+        # Postorder processing converges fastest for backward problems.
+        work.sort(key=position.__getitem__)
+        label = work.pop()
+        in_work.discard(label)
+
+        acc: set[T] = set(exit_value) if label in exits else set()
+        for s in cfg.successors(label):
+            if s in in_map:
+                acc |= in_map[s]
+        new_out = frozenset(acc)
+        new_in = transfer(label, new_out)
+        out_map[label] = new_out
+        if new_in != in_map[label]:
+            in_map[label] = new_in
+            for p in preds[label]:
+                if p in position and p not in in_work:
+                    work.append(p)
+                    in_work.add(p)
+    return in_map, out_map

@@ -1,0 +1,68 @@
+"""Dominator computation (Cooper-Harvey-Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from ..ir.cfg import CFG
+
+__all__ = ["immediate_dominators", "dominators", "dominates"]
+
+
+def immediate_dominators(cfg: CFG) -> dict[str, str | None]:
+    """Return the immediate dominator of every reachable block.
+
+    The entry block maps to ``None``.  Uses the Cooper/Harvey/Kennedy
+    "engineered" iterative algorithm over reverse-postorder.
+    """
+    order = cfg.rpo()
+    index = {label: i for i, label in enumerate(order)}
+    preds = cfg.predecessors_map()
+
+    idom: dict[str, str | None] = {cfg.entry: cfg.entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == cfg.entry:
+                continue
+            processed = [p for p in preds[label] if p in idom and p in index]
+            if not processed:
+                continue
+            new_idom = processed[0]
+            for p in processed[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    result: dict[str, str | None] = {}
+    for label in order:
+        result[label] = None if label == cfg.entry else idom[label]
+    return result
+
+
+def dominators(cfg: CFG) -> dict[str, frozenset[str]]:
+    """Return the full dominator set of every reachable block."""
+    idom = immediate_dominators(cfg)
+    out: dict[str, frozenset[str]] = {}
+    for label in idom:
+        doms = {label}
+        cur = idom[label]
+        while cur is not None:
+            doms.add(cur)
+            cur = idom[cur]
+        out[label] = frozenset(doms)
+    return out
+
+
+def dominates(cfg: CFG, a: str, b: str) -> bool:
+    """Return True when block *a* dominates block *b*."""
+    return a in dominators(cfg)[b]

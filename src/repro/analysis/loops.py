@@ -1,0 +1,83 @@
+"""Natural-loop detection.
+
+Loops are found from back edges (``tail -> header`` where the header dominates
+the tail).  Loop bodies are used by LICM, strength reduction, unrolling, and
+by the trip-count analysis that lets MBR drop counters for regular loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.cfg import CFG
+from .dominators import dominators
+
+__all__ = ["Loop", "natural_loops", "loop_nest_depths"]
+
+
+@dataclass
+class Loop:
+    """A natural loop: its header, body blocks (incl. header), and back edges."""
+
+    header: str
+    body: frozenset[str]
+    back_edges: tuple[tuple[str, str], ...] = ()
+
+    #: labels of blocks inside the body that exit the loop
+    def exits(self, cfg: CFG) -> list[tuple[str, str]]:
+        """Return ``(from_block, to_block)`` edges leaving the loop."""
+        out = []
+        for label in sorted(self.body):
+            for succ in cfg.successors(label):
+                if succ not in self.body:
+                    out.append((label, succ))
+        return out
+
+    def preheaders(self, cfg: CFG) -> list[str]:
+        """Blocks outside the loop that jump to the header."""
+        preds = cfg.predecessors_map()
+        return [p for p in preds[self.header] if p not in self.body]
+
+
+def natural_loops(cfg: CFG) -> list[Loop]:
+    """Find all natural loops, one per header (merged bodies for shared headers).
+
+    Returned in deterministic order (by header label position in RPO).
+    """
+    doms = dominators(cfg)
+    order = cfg.rpo()
+    position = {label: i for i, label in enumerate(order)}
+    preds = cfg.predecessors_map()
+
+    bodies: dict[str, set[str]] = {}
+    edges: dict[str, list[tuple[str, str]]] = {}
+
+    for tail in order:
+        for head in cfg.successors(tail):
+            if head in doms.get(tail, frozenset()):
+                # back edge tail -> head
+                body = bodies.setdefault(head, {head})
+                edges.setdefault(head, []).append((tail, head))
+                # walk predecessors from the tail up to the header
+                stack = [tail]
+                while stack:
+                    n = stack.pop()
+                    if n in body:
+                        continue
+                    body.add(n)
+                    stack.extend(p for p in preds[n] if p in position)
+
+    loops = [
+        Loop(header=h, body=frozenset(bodies[h]), back_edges=tuple(edges[h]))
+        for h in sorted(bodies, key=position.__getitem__)
+    ]
+    return loops
+
+
+def loop_nest_depths(cfg: CFG) -> dict[str, int]:
+    """Map each block label to its loop nesting depth (0 = not in a loop)."""
+    depths = {label: 0 for label in cfg.rpo()}
+    for loop in natural_loops(cfg):
+        for label in loop.body:
+            depths[label] = depths.get(label, 0) + 1
+    return depths

@@ -1,0 +1,102 @@
+"""Simple flow-insensitive points-to analysis.
+
+The paper (Section 2.2) needs only enough pointer information to decide
+whether a memory reference through a pointer behaves like a scalar for CBR:
+"memory references by pointers that are not changed within the tuning
+section.  We found that simple points-to analysis is sufficient for that
+purpose."  We mirror that: pointers (``Type.PTR``) may be bound to arrays by
+the caller and copied between pointer variables inside the TS; the analysis
+computes each pointer's possible targets and the set of pointers *changed*
+(reassigned) within the function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.expr import Var
+from ..ir.function import Function
+from ..ir.stmt import Assign
+from ..ir.types import Type, is_array
+
+__all__ = ["PointsToResult", "points_to"]
+
+#: The unknown target, used when a pointer is assigned something that is not
+#: a pointer/array name (conservative top element).
+UNKNOWN = "<unknown>"
+
+
+@dataclass(frozen=True)
+class PointsToResult:
+    """Result of the points-to analysis for one function."""
+
+    #: pointer variable -> possible array targets (may contain UNKNOWN)
+    targets: dict[str, frozenset[str]]
+    #: pointer variables reassigned somewhere within the function
+    changed: frozenset[str]
+
+    def is_stable(self, ptr: str) -> bool:
+        """True when *ptr* is never reassigned inside the function —
+        the condition under which the paper treats ``*ptr`` like a scalar."""
+        return ptr not in self.changed
+
+    def may_point_to(self, ptr: str, array: str) -> bool:
+        t = self.targets.get(ptr, frozenset({UNKNOWN}))
+        return array in t or UNKNOWN in t
+
+
+def points_to(fn: Function, seeds: dict[str, frozenset[str]] | None = None) -> PointsToResult:
+    """Compute points-to sets for every PTR-typed variable of *fn*.
+
+    *seeds* optionally maps pointer parameters to the arrays the caller may
+    bind them to (workload metadata).  Unseeded pointer parameters point to
+    UNKNOWN.  Pointer locals start empty and accumulate targets through
+    assignments ``p = q`` (pointer copy) or ``p = arr`` (taking an array's
+    handle).
+    """
+    types = fn.all_vars()
+    ptrs = {n for n, t in types.items() if t is Type.PTR}
+    arrays = {n for n, t in types.items() if is_array(t)}
+
+    targets: dict[str, set[str]] = {p: set() for p in ptrs}
+    for p in ptrs:
+        if seeds and p in seeds:
+            targets[p] |= set(seeds[p])
+        elif any(q.name == p for q in fn.params):
+            targets[p].add(UNKNOWN)
+
+    changed: set[str] = set()
+    copies: list[tuple[str, str]] = []  # (dst, src) pointer copies
+
+    for blk in fn.cfg.blocks.values():
+        for s in blk.stmts:
+            if not isinstance(s, Assign) or not s.is_scalar_def():
+                continue
+            dst = s.target.name
+            if dst not in ptrs:
+                continue
+            changed.add(dst)
+            if isinstance(s.expr, Var):
+                src = s.expr.name
+                if src in ptrs:
+                    copies.append((dst, src))
+                    continue
+                if src in arrays:
+                    targets[dst].add(src)
+                    continue
+            targets[dst].add(UNKNOWN)
+
+    # fixpoint over pointer copies
+    changed_any = True
+    while changed_any:
+        changed_any = False
+        for dst, src in copies:
+            before = len(targets[dst])
+            targets[dst] |= targets[src]
+            if len(targets[dst]) != before:
+                changed_any = True
+
+    return PointsToResult(
+        targets={p: frozenset(t) for p, t in targets.items()},
+        changed=frozenset(changed),
+    )

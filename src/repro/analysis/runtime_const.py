@@ -1,0 +1,65 @@
+"""Run-time constant detection from profile data.
+
+Fig. 1's last step removes *run-time constants* — context variables whose
+value is identical in every invocation of the TS — from the context set.
+In the offline scenario these are found with a profile run using the tuning
+input (Section 3), which is exactly what this module consumes: the sequence
+of invocation input mappings recorded by the profiler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .context import ContextAnalysis, ContextVarSpec
+
+__all__ = ["runtime_constants", "refine_context"]
+
+
+def _values_equal(a: object, b: object) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return bool(np.array_equal(a, b))
+    return a == b
+
+
+def runtime_constants(
+    specs: Sequence[ContextVarSpec],
+    invocation_inputs: Iterable[Mapping[str, object]],
+) -> frozenset[str]:
+    """Return the display names of context variables constant across the
+    profiled invocations.
+
+    With zero or one invocation every variable is (vacuously) constant; the
+    consultant never applies CBR to such sections anyway because CBR needs
+    tens of same-context invocations to average over.
+    """
+    first: dict[str, object] = {}
+    constant: set[str] = {s.display for s in specs}
+    seen_any = False
+    for inputs in invocation_inputs:
+        seen_any = True
+        for spec in specs:
+            name = spec.display
+            if name not in constant:
+                continue
+            value = spec.extract(inputs)
+            if name not in first:
+                first[name] = value
+            elif not _values_equal(first[name], value):
+                constant.discard(name)
+    if not seen_any:
+        return frozenset(s.display for s in specs)
+    return frozenset(constant)
+
+
+def refine_context(
+    analysis: ContextAnalysis,
+    invocation_inputs: Iterable[Mapping[str, object]],
+) -> ContextAnalysis:
+    """Drop run-time-constant variables from a context analysis result."""
+    if not analysis.applicable:
+        return analysis
+    constants = runtime_constants(analysis.context_vars, invocation_inputs)
+    return analysis.without(constants)

@@ -1,0 +1,198 @@
+"""Symbolic trip-count analysis for regular loops.
+
+MBR (Section 2.3) prefers a compile-time expression for the number of
+entries ``C_b`` of a basic block "if the code structure is regular, such as
+the loop body of a perfectly nested loop", falling back to counters
+otherwise.  This analysis recognises the canonical counted loop emitted by
+the builder (and anything structurally equivalent):
+
+    header:  if (i < stop) body else exit      # or > for negative steps
+    latch:   i = i + step ; jump header
+
+with ``i`` initialised once in a preheader and *stop*/*step* loop-invariant.
+For such loops the body's per-invocation entry count is
+``max(0, ceil((stop - start) / step))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.cfg import CFG
+from ..ir.expr import BinOp, Const, Expr, Var
+from ..ir.function import Function
+from ..ir.stmt import Assign, CondBranch
+from .loops import Loop, natural_loops
+
+__all__ = ["TripCount", "analyze_trip_counts"]
+
+
+@dataclass(frozen=True)
+class TripCount:
+    """Symbolic trip count of one regular loop."""
+
+    header: str
+    induction_var: str
+    start: Expr
+    stop: Expr
+    step: int
+
+    def evaluate(self, env: dict[str, object]) -> int:
+        """Evaluate the trip count for concrete invocation inputs."""
+        start = _eval_affine(self.start, env)
+        stop = _eval_affine(self.stop, env)
+        if self.step > 0:
+            span = stop - start
+        else:
+            span = start - stop
+        step = abs(self.step)
+        if span <= 0:
+            return 0
+        return int(-(-span // step))  # ceil division
+
+
+def _eval_affine(expr: Expr, env: dict[str, object]) -> float:
+    if isinstance(expr, Const):
+        return expr.value  # type: ignore[return-value]
+    if isinstance(expr, Var):
+        return env[expr.name]  # type: ignore[return-value]
+    if isinstance(expr, BinOp):
+        left = _eval_affine(expr.left, env)
+        right = _eval_affine(expr.right, env)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "//":
+            return left // right
+        if expr.op == "min":
+            return min(left, right)
+        if expr.op == "max":
+            return max(left, right)
+    raise ValueError(f"cannot evaluate {expr} as an affine bound")
+
+
+def _loop_invariant(expr: Expr, loop: Loop, cfg: CFG) -> bool:
+    reads = expr.scalar_reads() | expr.array_reads()
+    if expr.array_reads():
+        return False
+    defs_in_loop: set[str] = set()
+    for label in loop.body:
+        defs_in_loop |= cfg.blocks[label].defs()
+    return not (reads & defs_in_loop)
+
+
+def _find_induction(loop: Loop, cfg: CFG) -> tuple[str, int] | None:
+    """Find the single induction variable ``i += step`` updated in the loop."""
+    candidates: dict[str, int] = {}
+    for label in loop.body:
+        for s in cfg.blocks[label].stmts:
+            if not isinstance(s, Assign) or not s.is_scalar_def():
+                continue
+            var = s.target.name
+            e = s.expr
+            # match i = i + c  /  i = i - c  /  i = c + i
+            if isinstance(e, BinOp) and e.op in {"+", "-"}:
+                if (
+                    isinstance(e.left, Var)
+                    and e.left.name == var
+                    and isinstance(e.right, Const)
+                    and isinstance(e.right.value, int)
+                ):
+                    step = e.right.value if e.op == "+" else -e.right.value
+                elif (
+                    e.op == "+"
+                    and isinstance(e.right, Var)
+                    and e.right.name == var
+                    and isinstance(e.left, Const)
+                    and isinstance(e.left.value, int)
+                ):
+                    step = e.left.value
+                else:
+                    continue
+                if var in candidates:
+                    return None  # updated twice: not canonical
+                candidates[var] = step
+    # The induction var must drive the header condition; resolved by caller.
+    if len(candidates) >= 1:
+        # return the one used in the header condition if unambiguous
+        term = cfg.blocks[loop.header].terminator
+        if isinstance(term, CondBranch):
+            used = term.cond.scalar_reads()
+            hits = [v for v in candidates if v in used]
+            if len(hits) == 1:
+                return hits[0], candidates[hits[0]]
+    return None
+
+
+def _find_start(var: str, loop: Loop, cfg: CFG) -> Expr | None:
+    """Find the unique initialisation of *var* in a preheader block."""
+    preds = cfg.predecessors_map()
+    inits: list[Expr] = []
+    for p in preds[loop.header]:
+        if p in loop.body:
+            continue
+        for s in cfg.blocks[p].stmts:
+            if isinstance(s, Assign) and s.is_scalar_def() and s.target.name == var:
+                inits.append(s.expr)  # last write wins within the block
+    if len(inits) == 1:
+        return inits[0]
+    if len(inits) > 1 and all(e == inits[0] for e in inits):
+        return inits[0]
+    return None
+
+
+def analyze_trip_counts(fn: Function) -> dict[str, TripCount]:
+    """Map loop-header labels to symbolic trip counts for regular loops.
+
+    Irregular loops (data-dependent exits, multiple exits, non-constant
+    steps) are simply absent from the result — MBR keeps counters for them.
+    """
+    cfg = fn.cfg
+    out: dict[str, TripCount] = {}
+    for loop in natural_loops(cfg):
+        term = cfg.blocks[loop.header].terminator
+        if not isinstance(term, CondBranch):
+            continue
+        # single exit through the header only
+        exits = loop.exits(cfg)
+        if {src for src, _ in exits} != {loop.header}:
+            continue
+        ind = _find_induction(loop, cfg)
+        if ind is None:
+            continue
+        var, step = ind
+        cond = term.cond
+        if not isinstance(cond, BinOp):
+            continue
+        # canonical forms: (i < stop) with positive step, (i > stop) negative
+        if (
+            cond.op == "<"
+            and step > 0
+            and isinstance(cond.left, Var)
+            and cond.left.name == var
+        ):
+            stop = cond.right
+        elif (
+            cond.op == ">"
+            and step < 0
+            and isinstance(cond.left, Var)
+            and cond.left.name == var
+        ):
+            stop = cond.right
+        else:
+            continue
+        if not _loop_invariant(stop, loop, cfg):
+            continue
+        start = _find_start(var, loop, cfg)
+        if start is None:
+            continue
+        try:
+            _eval_affine(start, dict.fromkeys(start.scalar_reads(), 1))
+            _eval_affine(stop, dict.fromkeys(stop.scalar_reads(), 1))
+        except ValueError:
+            continue
+        out[loop.header] = TripCount(loop.header, var, start, stop, step)
+    return out

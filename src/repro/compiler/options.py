@@ -1,0 +1,85 @@
+"""Optimization configurations: immutable sets of enabled flags."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .flags import ALL_FLAGS, FLAGS_BY_NAME
+
+__all__ = ["OptConfig"]
+
+
+@dataclass(frozen=True)
+class OptConfig:
+    """An immutable optimization option set ("a set of compiler optimization
+    options" under which one *version* is generated).
+
+    ``OptConfig.o3()`` is the baseline with all 38 options on — what the
+    paper's programs are initially compiled with; search algorithms explore
+    subsets of it.
+    """
+
+    enabled: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        unknown = self.enabled - set(FLAGS_BY_NAME)
+        if unknown:
+            raise ValueError(f"unknown optimization flags: {sorted(unknown)}")
+
+    # ----------------------------------------------------------------- #
+    # constructors
+
+    @classmethod
+    def o3(cls) -> "OptConfig":
+        """All 38 options on (the GCC ``-O3`` baseline)."""
+        return cls(frozenset(f.name for f in ALL_FLAGS))
+
+    @classmethod
+    def o0(cls) -> "OptConfig":
+        """No optimization options."""
+        return cls(frozenset())
+
+    @classmethod
+    def of(cls, *names: str) -> "OptConfig":
+        return cls(frozenset(names))
+
+    # ----------------------------------------------------------------- #
+
+    def is_enabled(self, name: str) -> bool:
+        if name not in FLAGS_BY_NAME:
+            raise ValueError(f"unknown optimization flag {name!r}")
+        return name in self.enabled
+
+    def without(self, *names: str) -> "OptConfig":
+        """A copy with *names* switched off."""
+        for n in names:
+            if n not in FLAGS_BY_NAME:
+                raise ValueError(f"unknown optimization flag {n!r}")
+        return OptConfig(self.enabled - frozenset(names))
+
+    def with_(self, *names: str) -> "OptConfig":
+        """A copy with *names* switched on."""
+        return OptConfig(self.enabled | frozenset(names))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.enabled
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.enabled))
+
+    def __len__(self) -> int:
+        return len(self.enabled)
+
+    def describe(self) -> str:
+        """Compact description: which flags differ from -O3."""
+        off = sorted(set(FLAGS_BY_NAME) - self.enabled)
+        if not off:
+            return "-O3"
+        if len(off) <= 6:
+            return "-O3 " + " ".join(f"-fno-{n}" for n in off)
+        return f"-O3 minus {len(off)} flags"
+
+    def key(self) -> tuple[str, ...]:
+        """A canonical hashable key (sorted tuple of enabled names)."""
+        return tuple(sorted(self.enabled))

@@ -1,0 +1,169 @@
+"""Shared helpers for optimization passes.
+
+Passes are functions ``fn -> bool`` that mutate a :class:`Function` in place
+and return whether anything changed.  Expressions are immutable, so passes
+rebuild statements; the helpers here do expression substitution/rewriting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ...ir.expr import ArrayRef, BinOp, Call, Const, Expr, UnOp, Var
+from ...ir.function import Function
+from ...ir.stmt import Assign, CallStmt, CondBranch, Return, Stmt, Terminator
+from ...ir.types import Type
+
+__all__ = [
+    "subst_expr",
+    "subst_stmt",
+    "subst_terminator",
+    "rewrite_expr",
+    "fresh_name",
+    "is_pure_scalar_expr",
+    "expr_size",
+]
+
+
+def subst_expr(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Replace reads of variables per *mapping* (array base names included)."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, ArrayRef):
+        new_index = subst_expr(expr.index, mapping)
+        repl = mapping.get(expr.array)
+        if repl is not None:
+            if not isinstance(repl, Var):
+                raise ValueError(
+                    f"array base {expr.array!r} can only be renamed to a variable"
+                )
+            return ArrayRef(repl.name, new_index)
+        if new_index is expr.index:
+            return expr
+        return ArrayRef(expr.array, new_index)
+    if isinstance(expr, UnOp):
+        sub = subst_expr(expr.operand, mapping)
+        return expr if sub is expr.operand else UnOp(expr.op, sub)
+    if isinstance(expr, BinOp):
+        left = subst_expr(expr.left, mapping)
+        right = subst_expr(expr.right, mapping)
+        if left is expr.left and right is expr.right:
+            return expr
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, Call):
+        args = tuple(subst_expr(a, mapping) for a in expr.args)
+        if all(a is b for a, b in zip(args, expr.args)):
+            return expr
+        return Call(expr.fn, args)
+    raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+
+def subst_stmt(stmt: Stmt, mapping: Mapping[str, Expr]) -> Stmt:
+    """Substitute variable reads in *stmt*; write targets are renamed only
+    when mapped to plain variables."""
+    if isinstance(stmt, Assign):
+        new_expr = subst_expr(stmt.expr, mapping)
+        target = stmt.target
+        if isinstance(target, ArrayRef):
+            new_index = subst_expr(target.index, mapping)
+            base = mapping.get(target.array)
+            name = target.array
+            if base is not None:
+                if not isinstance(base, Var):
+                    raise ValueError("array store base must map to a variable")
+                name = base.name
+            target = ArrayRef(name, new_index)
+        else:
+            repl = mapping.get(target.name)
+            if repl is not None:
+                if not isinstance(repl, Var):
+                    raise ValueError("scalar store target must map to a variable")
+                target = Var(repl.name)
+        return Assign(target, new_expr)
+    if isinstance(stmt, CallStmt):
+        args = tuple(subst_expr(a, mapping) for a in stmt.args)
+        target = stmt.target
+        if target is not None and target.name in mapping:
+            repl = mapping[target.name]
+            if not isinstance(repl, Var):
+                raise ValueError("call target must map to a variable")
+            target = repl
+        writes = tuple(
+            mapping[w].name if w in mapping and isinstance(mapping[w], Var) else w
+            for w in stmt.writes_arrays
+        )
+        return CallStmt(stmt.fn, args, target, writes)
+    raise TypeError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+
+def subst_terminator(term: Terminator, mapping: Mapping[str, Expr]) -> Terminator:
+    if isinstance(term, CondBranch):
+        return CondBranch(subst_expr(term.cond, mapping), term.then, term.orelse)
+    if isinstance(term, Return) and term.value is not None:
+        return Return(subst_expr(term.value, mapping))
+    return term
+
+
+def rewrite_expr(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Bottom-up rewrite: apply *fn* to every node after its children."""
+    if isinstance(expr, (Const, Var)):
+        return fn(expr)
+    if isinstance(expr, ArrayRef):
+        return fn(ArrayRef(expr.array, rewrite_expr(expr.index, fn)))
+    if isinstance(expr, UnOp):
+        return fn(UnOp(expr.op, rewrite_expr(expr.operand, fn)))
+    if isinstance(expr, BinOp):
+        return fn(
+            BinOp(expr.op, rewrite_expr(expr.left, fn), rewrite_expr(expr.right, fn))
+        )
+    if isinstance(expr, Call):
+        return fn(Call(expr.fn, tuple(rewrite_expr(a, fn) for a in expr.args)))
+    raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+
+def fresh_name(fn: Function, base: str, ty: Type) -> str:
+    """Declare and return a fresh local name derived from *base*."""
+    taken = set(fn.locals) | {p.name for p in fn.params}
+    name = base
+    i = 0
+    while name in taken:
+        i += 1
+        name = f"{base}.{i}"
+    fn.locals[name] = ty
+    return name
+
+
+def is_pure_scalar_expr(expr: Expr) -> bool:
+    """True when *expr* reads only scalars and cannot trap.
+
+    Used by CSE/LICM/if-conversion candidates: no array reads (a store could
+    change them; an untaken branch could index out of bounds) and no
+    division (hoisting/speculating could introduce a divide-by-zero).
+    """
+    if isinstance(expr, Const):
+        return True
+    if isinstance(expr, Var):
+        return True
+    if isinstance(expr, ArrayRef):
+        return False
+    if isinstance(expr, UnOp):
+        return is_pure_scalar_expr(expr.operand)
+    if isinstance(expr, BinOp):
+        if expr.op in {"/", "//", "%"}:
+            return False
+        return is_pure_scalar_expr(expr.left) and is_pure_scalar_expr(expr.right)
+    if isinstance(expr, Call):
+        if expr.fn in {"log"}:  # traps on non-positive inputs
+            return False
+        return all(is_pure_scalar_expr(a) for a in expr.args)
+    return False
+
+
+def expr_size(expr: Expr) -> int:
+    """Number of nodes in the expression tree (used by size heuristics)."""
+    n = 1
+    for child in expr.children():
+        n += expr_size(child)
+    return n

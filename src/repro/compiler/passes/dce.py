@@ -1,0 +1,56 @@
+"""Dead code elimination (run under ``-fexpensive-optimizations``).
+
+Statement-level backward liveness: scalar assignments whose target is dead
+after the statement are removed (expressions in our IR are pure, so removal
+is always safe).  Array stores, calls, and terminators are never removed.
+Iterates to a fixed point (removing one dead statement can kill another).
+"""
+
+from __future__ import annotations
+
+from ...ir.function import Function
+from ...ir.stmt import Assign, CallStmt
+from ...analysis.liveness import live_out
+
+__all__ = ["dead_code_elimination"]
+
+
+def dead_code_elimination(fn: Function) -> bool:
+    changed_any = False
+    for _ in range(20):
+        out_map = live_out(fn)
+        changed = False
+        for label, blk in fn.cfg.blocks.items():
+            if label not in out_map:
+                continue
+            live = set(out_map[label])
+            if blk.terminator is not None:
+                live |= blk.terminator.uses()
+            new_rev = []
+            for s in reversed(blk.stmts):
+                if (
+                    isinstance(s, Assign)
+                    and s.is_scalar_def()
+                    and s.target.name not in live
+                ):
+                    changed = True
+                    continue  # dead
+                if isinstance(s, Assign) and s.is_scalar_def():
+                    live.discard(s.target.name)
+                elif isinstance(s, CallStmt) and s.target is not None:
+                    live.discard(s.target.name)
+                live |= s.uses()
+                new_rev.append(s)
+            blk.stmts = list(reversed(new_rev))
+        changed_any |= changed
+        if not changed:
+            break
+    # also prune declarations of locals that no longer occur anywhere
+    used: set[str] = set()
+    for blk in fn.cfg.blocks.values():
+        used |= blk.uses() | blk.defs()
+    for name in list(fn.locals):
+        if name not in used:
+            del fn.locals[name]
+            changed_any = True
+    return changed_any

@@ -1,0 +1,113 @@
+"""If-conversion (``-fif-conversion`` analogue).
+
+Small branch diamonds whose arms contain only pure scalar assignments are
+converted into straight-line predicated code:
+
+    if (c) { x = A } else { x = B }
+    =>
+    p = c ; tA = A ; tB = B ; x = p*tA + (1-p)*tB
+
+This removes a (possibly badly predicted) branch at the price of evaluating
+both arms — profitable for irregular branches on deep pipelines (Pentium 4),
+potentially harmful when an arm is expensive.  Both arms are evaluated into
+temporaries first so mutual references (``x = x + 1``) stay correct.
+
+Safety: arms must be pure scalar code (no array accesses — the untaken arm
+could index out of bounds; no division — it could trap; no calls), and
+small (≤ ``MAX_ARM_STATEMENTS`` statements each).
+"""
+
+from __future__ import annotations
+
+from ...ir.expr import BinOp, Call, Const, Expr, Var
+from ...ir.function import Function
+from ...ir.stmt import Assign, CondBranch, Jump
+from ...ir.types import Type
+from ...machine.cost import infer_type
+from .base import fresh_name, is_pure_scalar_expr, subst_expr
+
+__all__ = ["if_conversion", "MAX_ARM_STATEMENTS"]
+
+MAX_ARM_STATEMENTS = 3
+
+
+def _arm_convertible(blk) -> bool:
+    if len(blk.stmts) > MAX_ARM_STATEMENTS:
+        return False
+    if not isinstance(blk.terminator, Jump):
+        return False
+    for s in blk.stmts:
+        if not isinstance(s, Assign) or not s.is_scalar_def():
+            return False
+        if not is_pure_scalar_expr(s.expr):
+            return False
+    return True
+
+
+def if_conversion(fn: Function) -> bool:
+    cfg = fn.cfg
+    preds = cfg.predecessors_map()
+    types = fn.all_vars()
+    changed = False
+
+    for label in list(cfg.rpo()):
+        blk = cfg.blocks.get(label)
+        if blk is None:
+            continue
+        t = blk.terminator
+        if not isinstance(t, CondBranch) or t.then == t.orelse:
+            continue
+        if not is_pure_scalar_expr(t.cond):
+            continue
+        then_blk = cfg.blocks[t.then]
+        else_blk = cfg.blocks[t.orelse]
+        if not (_arm_convertible(then_blk) and _arm_convertible(else_blk)):
+            continue
+        # arms must join at the same block and have no other predecessors
+        if then_blk.terminator.target != else_blk.terminator.target:  # type: ignore[union-attr]
+            continue
+        join = then_blk.terminator.target  # type: ignore[union-attr]
+        if join in (t.then, t.orelse):
+            continue
+        if set(preds[t.then]) != {label} or set(preds[t.orelse]) != {label}:
+            continue
+
+        # ---- convert ---------------------------------------------------- #
+        pred_name = fresh_name(fn, "ifc_p", Type.INT)
+        new_stmts = list(blk.stmts)
+        new_stmts.append(Assign(Var(pred_name), Call("int", (t.cond,))))
+
+        # evaluate each arm into temporaries sequentially, with earlier arm
+        # statements substituted into later ones (arms are straight-line)
+        def lower_arm(stmts, suffix: str) -> dict[str, Var]:
+            env: dict[str, Expr] = {}
+            out: dict[str, Var] = {}
+            for i, s in enumerate(stmts):
+                value = subst_expr(s.expr, env)
+                ty = infer_type(value, types)
+                tmp = fresh_name(
+                    fn, f"ifc_{suffix}{i}", Type.FLOAT if ty is Type.FLOAT else Type.INT
+                )
+                types[tmp] = Type.FLOAT if ty is Type.FLOAT else Type.INT
+                new_stmts.append(Assign(Var(tmp), value))
+                env[s.target.name] = Var(tmp)
+                out[s.target.name] = Var(tmp)
+            return out
+
+        then_vals = lower_arm(then_blk.stmts, "t")
+        else_vals = lower_arm(else_blk.stmts, "e")
+
+        p = Var(pred_name)
+        one_minus_p = BinOp("-", Const(1), p)
+        for var in sorted(set(then_vals) | set(else_vals)):
+            tv: Expr = then_vals.get(var, Var(var))
+            ev: Expr = else_vals.get(var, Var(var))
+            sel = BinOp("+", BinOp("*", p, tv), BinOp("*", one_minus_p, ev))
+            new_stmts.append(Assign(Var(var), sel))
+
+        blk.stmts = new_stmts
+        blk.terminator = Jump(join)
+        cfg.remove_unreachable()
+        preds = cfg.predecessors_map()
+        changed = True
+    return changed

@@ -1,0 +1,130 @@
+"""Function inlining (``-finline-functions`` analogue).
+
+Replaces ``CallStmt`` sites with the callee's body when the callee is small:
+callee blocks are cloned with renamed labels, callee locals/params are
+renamed with a per-site prefix, scalar arguments are bound by assignment,
+and array arguments are bound by *renaming* (pass-by-reference), which
+requires the argument to be a plain variable.  Returns become jumps to the
+continuation block (with the return value assigned to the call target).
+"""
+
+from __future__ import annotations
+
+from ...ir.block import BasicBlock
+from ...ir.expr import Expr, Var
+from ...ir.function import Function, Program
+from ...ir.stmt import Assign, CallStmt, CondBranch, Jump, Return
+from ...ir.types import is_array
+from .base import subst_stmt, subst_terminator
+
+__all__ = ["inline_calls", "MAX_INLINE_STATEMENTS"]
+
+MAX_INLINE_STATEMENTS = 40
+
+
+def _callee_size(fn: Function) -> int:
+    return sum(len(b.stmts) + 1 for b in fn.cfg.blocks.values())
+
+
+def _inlinable(callee: Function, stmt: CallStmt) -> bool:
+    if _callee_size(callee) > MAX_INLINE_STATEMENTS:
+        return False
+    for blk in callee.cfg.blocks.values():
+        for s in blk.stmts:
+            if isinstance(s, CallStmt):
+                return False  # no nested calls (keeps this pass simple)
+    # array params must be bound to plain variables
+    for p, a in zip(callee.params, stmt.args):
+        if (is_array(p.type) or p.type.value == "ptr") and not isinstance(a, Var):
+            return False
+    return len(stmt.args) == len(callee.params)
+
+
+def inline_calls(fn: Function, program: Program) -> bool:
+    """Inline eligible call sites of *fn* against *program*'s functions."""
+    changed = False
+    site_no = 0
+    work = True
+    while work:
+        work = False
+        for label in list(fn.cfg.rpo()):
+            blk = fn.cfg.blocks[label]
+            for i, s in enumerate(blk.stmts):
+                if not isinstance(s, CallStmt):
+                    continue
+                callee = program.functions.get(s.fn)
+                if callee is None or callee.name == fn.name:
+                    continue
+                if not _inlinable(callee, s):
+                    continue
+                _inline_site(fn, label, i, s, callee, site_no)
+                site_no += 1
+                changed = True
+                work = True
+                break
+            if work:
+                break
+    return changed
+
+
+def _inline_site(
+    fn: Function,
+    label: str,
+    index: int,
+    call: CallStmt,
+    callee: Function,
+    site_no: int,
+) -> None:
+    cfg = fn.cfg
+    blk = cfg.blocks[label]
+    prefix = f"inl{site_no}_{callee.name}_"
+
+    # split the caller block: [before] -> callee entry ... -> cont [after]
+    cont_label = cfg.fresh_label(f"{label}.cont")
+    cont = BasicBlock(cont_label, stmts=blk.stmts[index + 1 :], terminator=blk.terminator)
+    cfg.add_block(cont)
+    before = blk.stmts[:index]
+
+    # variable renaming map for the callee
+    rename: dict[str, Expr] = {}
+    bind_stmts: list[Assign] = []
+    for p, a in zip(callee.params, call.args):
+        if is_array(p.type) or p.type.value == "ptr":
+            assert isinstance(a, Var)
+            rename[p.name] = Var(a.name)  # by-reference rename
+        else:
+            new = prefix + p.name
+            fn.locals[new] = p.type
+            rename[p.name] = Var(new)
+            bind_stmts.append(Assign(Var(new), a))
+    for lname, lty in callee.locals.items():
+        new = prefix + lname
+        fn.locals[new] = lty
+        rename[lname] = Var(new)
+
+    # clone callee blocks with renamed labels and variables
+    label_map = {old: cfg.fresh_label(prefix + old) for old in callee.cfg.blocks}
+    for old, new_label in label_map.items():
+        src = callee.cfg.blocks[old]
+        stmts = [subst_stmt(s, rename) for s in src.stmts]
+        term = src.terminator
+        if isinstance(term, Return):
+            new_stmts = list(stmts)
+            if call.target is not None and term.value is not None:
+                from .base import subst_expr
+
+                new_stmts.append(Assign(call.target, subst_expr(term.value, rename)))
+            nb = BasicBlock(new_label, new_stmts, Jump(cont_label))
+        else:
+            term2 = subst_terminator(term, rename)
+            if isinstance(term2, Jump):
+                term2 = Jump(label_map[term2.target])
+            elif isinstance(term2, CondBranch):
+                term2 = CondBranch(
+                    term2.cond, label_map[term2.then], label_map[term2.orelse]
+                )
+            nb = BasicBlock(new_label, list(stmts), term2)
+        cfg.add_block(nb)
+
+    blk.stmts = before + bind_stmts
+    blk.terminator = Jump(label_map[callee.cfg.entry])

@@ -1,0 +1,77 @@
+"""Jump threading and crossjumping.
+
+* ``thread_jumps`` (``-fthread-jumps``): edges into empty forwarding blocks
+  (no statements, unconditional jump out) are redirected to the final
+  destination; two-way branches whose arms coincide collapse to jumps.
+* ``crossjump`` (``-fcrossjumping``): structurally identical blocks are
+  merged (all but one removed, edges retargeted) — shrinking code size.
+"""
+
+from __future__ import annotations
+
+from ...ir.function import Function
+from ...ir.stmt import CondBranch, Jump
+
+__all__ = ["thread_jumps", "crossjump"]
+
+
+def thread_jumps(fn: Function) -> bool:
+    cfg = fn.cfg
+    changed = False
+
+    def final_target(label: str, hops: int = 0) -> str:
+        blk = cfg.blocks.get(label)
+        if (
+            blk is not None
+            and not blk.stmts
+            and isinstance(blk.terminator, Jump)
+            and blk.terminator.target != label
+            and hops < 16
+        ):
+            return final_target(blk.terminator.target, hops + 1)
+        return label
+
+    for blk in cfg.blocks.values():
+        t = blk.terminator
+        if isinstance(t, Jump):
+            tgt = final_target(t.target)
+            if tgt != t.target:
+                blk.terminator = Jump(tgt)
+                changed = True
+        elif isinstance(t, CondBranch):
+            then = final_target(t.then)
+            orelse = final_target(t.orelse)
+            if then == orelse:
+                blk.terminator = Jump(then)
+                changed = True
+            elif (then, orelse) != (t.then, t.orelse):
+                blk.terminator = CondBranch(t.cond, then, orelse)
+                changed = True
+    if changed:
+        cfg.remove_unreachable()
+    return changed
+
+
+def crossjump(fn: Function) -> bool:
+    cfg = fn.cfg
+    changed = False
+    # group identical blocks by (statements, terminator) signature
+    while True:
+        sig_map: dict[str, str] = {}
+        merged = False
+        for label in list(cfg.rpo()):
+            blk = cfg.blocks[label]
+            sig = (tuple(blk.stmts), blk.terminator)
+            key = repr(sig)
+            keep = sig_map.get(key)
+            if keep is None:
+                sig_map[key] = label
+            elif keep != label and label != cfg.entry:
+                cfg.retarget(label, keep)
+                cfg.remove_unreachable()
+                merged = True
+                changed = True
+                break  # structures changed; restart scan
+        if not merged:
+            break
+    return changed

@@ -1,0 +1,116 @@
+"""Loop-invariant code motion (``-floop-optimize`` analogue).
+
+Hoists scalar assignments whose right-hand side is loop-invariant into the
+loop preheader.  Safety conditions (all required):
+
+* the statement is the *only* definition of its target inside the loop;
+* the right-hand side is a pure scalar expression (no array reads — a store
+  in the loop could change them; no division — a zero-trip loop must not
+  trap) whose operands are not defined in the loop;
+* the target is not live into the loop header (no use-before-def across the
+  back edge / first iteration reads the preheader value);
+* the target is not live at any loop exit (a zero-trip loop would otherwise
+  observe the hoisted value).
+
+A dedicated preheader block is created when the header has multiple or
+branching outside predecessors.
+"""
+
+from __future__ import annotations
+
+from ...analysis.liveness import live_in
+from ...analysis.loops import Loop, natural_loops
+from ...ir.block import BasicBlock
+from ...ir.function import Function
+from ...ir.stmt import Assign, Jump
+from .base import is_pure_scalar_expr
+
+__all__ = ["loop_invariant_code_motion"]
+
+
+def _ensure_preheader(fn: Function, loop: Loop) -> str | None:
+    """Return the label of a block that unconditionally enters the header."""
+    cfg = fn.cfg
+    outside = loop.preheaders(cfg)
+    if not outside:
+        return None
+    if len(outside) == 1:
+        blk = cfg.blocks[outside[0]]
+        if isinstance(blk.terminator, Jump):
+            return outside[0]
+    # create a fresh preheader between all outside predecessors and header
+    label = cfg.fresh_label(f"{loop.header}.pre")
+    pre = BasicBlock(label, terminator=Jump(loop.header))
+    cfg.add_block(pre)
+    from ...ir.stmt import CondBranch
+
+    for p in outside:
+        t = cfg.blocks[p].terminator
+        if isinstance(t, Jump) and t.target == loop.header:
+            cfg.blocks[p].terminator = Jump(label)
+        elif isinstance(t, CondBranch):
+            then = label if t.then == loop.header else t.then
+            orelse = label if t.orelse == loop.header else t.orelse
+            cfg.blocks[p].terminator = CondBranch(t.cond, then, orelse)
+    if cfg.entry == loop.header:
+        cfg.entry = label
+    return label
+
+
+def loop_invariant_code_motion(fn: Function) -> bool:
+    changed = False
+    # innermost-first: sort loops by body size ascending
+    loops = sorted(natural_loops(fn.cfg), key=lambda l: len(l.body))
+    for loop in loops:
+        changed |= _hoist_from_loop(fn, loop)
+    return changed
+
+
+def _hoist_from_loop(fn: Function, loop: Loop) -> bool:
+    cfg = fn.cfg
+    body = loop.body
+
+    defs_in_loop: dict[str, int] = {}
+    array_defs: set[str] = set()
+    for label in body:
+        for s in cfg.blocks[label].stmts:
+            for d in s.defs():
+                defs_in_loop[d] = defs_in_loop.get(d, 0) + 1
+            if isinstance(s, Assign) and not s.is_scalar_def():
+                array_defs.add(s.target.array)
+
+    live = live_in(fn)
+    header_live = live.get(loop.header, frozenset())
+    exit_live: set[str] = set()
+    for _, target in loop.exits(cfg):
+        exit_live |= live.get(target, frozenset())
+
+    # identify hoistable statements first (no mutation yet)
+    hoisted: list[Assign] = []
+    hoisted_names: set[str] = set()
+    sites: set[int] = set()
+    for label in sorted(body):
+        for s in cfg.blocks[label].stmts:
+            if (
+                isinstance(s, Assign)
+                and s.is_scalar_def()
+                and defs_in_loop.get(s.target.name, 0) == 1
+                and is_pure_scalar_expr(s.expr)
+                and not (s.expr.reads() & set(defs_in_loop))
+                and s.target.name not in header_live
+                and s.target.name not in exit_live
+                and s.target.name not in hoisted_names
+            ):
+                hoisted.append(s)
+                hoisted_names.add(s.target.name)
+                sites.add(id(s))
+    if not hoisted:
+        return False
+    pre_label = _ensure_preheader(fn, loop)
+    if pre_label is None:
+        return False
+    for label in sorted(body):
+        blk = cfg.blocks[label]
+        blk.stmts = [s for s in blk.stmts if id(s) not in sites]
+    cfg.blocks[pre_label].stmts.extend(hoisted)
+    return True

@@ -1,0 +1,155 @@
+"""The compilation pipeline: IR passes + effect model -> Version.
+
+``compile_version(fn, config, machine)`` is the reproduction's analogue of
+invoking GCC on an extracted tuning-section file with a set of ``-f...``
+options (paper Section 4.1): it clones the IR, runs the passes the enabled
+flags select (in a fixed canonical order), validates the result, prices the
+blocks through the effect model, and emits an executable version.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function, Program
+from ..ir.validate import validate_function
+from ..machine.config import MachineConfig
+from ..machine.executor import ExecutableFunction, compile_function
+from .effects import compute_costing
+from .options import OptConfig
+from .passes.constprop import constant_propagation
+from .passes.cse import common_subexpression_elimination
+from .passes.dce import dead_code_elimination
+from .passes.ifconv import if_conversion
+from .passes.inline import inline_calls
+from .passes.jumpthread import crossjump, thread_jumps
+from .passes.licm import loop_invariant_code_motion
+from .passes.peephole import peephole, strength_reduce
+from .passes.unroll import unroll_loops
+from .version import Version
+
+__all__ = ["compile_version", "run_passes", "PASS_ORDER"]
+
+
+#: canonical pass order: (pass id, flag gating it, callable)
+PASS_ORDER: tuple[tuple[str, str], ...] = (
+    ("inline", "inline-functions"),
+    ("constprop", "cprop-registers"),
+    ("peephole", "peephole2"),
+    ("jumpthread", "thread-jumps"),
+    ("crossjump", "crossjumping"),
+    ("cse-local", "cse-follow-jumps"),
+    ("gcse", "gcse"),
+    ("licm", "loop-optimize"),
+    ("cse-rerun", "rerun-cse-after-loop"),
+    ("strength", "strength-reduce"),
+    ("unroll", "rerun-loop-opt"),
+    ("ifconv", "if-conversion"),
+    ("dce", "expensive-optimizations"),
+)
+
+
+def _run_pass(pass_id: str, fn: Function, config: OptConfig, program: Program | None) -> bool:
+    if pass_id == "inline":
+        if program is None:
+            return False
+        return inline_calls(fn, program)
+    if pass_id == "constprop":
+        return constant_propagation(fn)
+    if pass_id == "peephole":
+        return peephole(fn)
+    if pass_id == "jumpthread":
+        return thread_jumps(fn)
+    if pass_id == "crossjump":
+        return crossjump(fn)
+    if pass_id == "cse-local":
+        # local CSE only when gcse is off (gcse subsumes it)
+        if "gcse" in config:
+            return False
+        return common_subexpression_elimination(fn, global_scope=False)
+    if pass_id == "gcse":
+        return common_subexpression_elimination(fn, global_scope=True)
+    if pass_id in ("licm",):
+        return loop_invariant_code_motion(fn)
+    if pass_id == "cse-rerun":
+        if "gcse" not in config and "cse-follow-jumps" not in config:
+            return False
+        return common_subexpression_elimination(
+            fn, global_scope="gcse" in config
+        )
+    if pass_id == "strength":
+        return strength_reduce(fn)
+    if pass_id == "unroll":
+        return unroll_loops(fn)
+    if pass_id == "ifconv":
+        return if_conversion(fn)
+    if pass_id == "dce":
+        return dead_code_elimination(fn)
+    raise ValueError(f"unknown pass {pass_id!r}")  # pragma: no cover
+
+
+def run_passes(
+    fn: Function,
+    config: OptConfig,
+    *,
+    program: Program | None = None,
+    checked: bool = False,
+) -> Function:
+    """Apply the passes enabled by *config* (in canonical order) to a copy."""
+    out = fn.copy()
+    for pass_id, flag in PASS_ORDER:
+        if flag not in config:
+            continue
+        _run_pass(pass_id, out, config, program)
+        if checked:
+            validate_function(out)
+    return out
+
+
+def compile_version(
+    fn: Function,
+    config: OptConfig,
+    machine: MachineConfig,
+    *,
+    program: Program | None = None,
+    checked: bool = True,
+    callees: dict[str, ExecutableFunction] | None = None,
+) -> Version:
+    """Compile tuning section *fn* under *config* for *machine*."""
+    transformed = run_passes(fn, config, program=program, checked=False)
+    if checked:
+        validate_function(
+            transformed,
+            known_functions=set(program.functions) if program else None,
+        )
+    costing = compute_costing(transformed, config, machine)
+    resolved_callees = dict(callees or {})
+    if program is not None:
+        # compile remaining callees (un-inlined calls) at -O3-equivalent
+        from ..ir.stmt import CallStmt
+
+        needed = {
+            s.fn
+            for blk in transformed.cfg.blocks.values()
+            for s in blk.stmts
+            if isinstance(s, CallStmt)
+        }
+        for name in needed - set(resolved_callees):
+            callee_fn = program.functions.get(name)
+            if callee_fn is not None and name != fn.name:
+                resolved_callees[name] = compile_function(callee_fn, machine)
+    exe = compile_function(
+        transformed,
+        machine,
+        block_compute_cycles=costing.block_compute,
+        block_spill_cycles=costing.block_spill,
+        callees=resolved_callees,
+    )
+    return Version(
+        ts_name=fn.name,
+        config=config,
+        machine_name=machine.name,
+        exe=exe,
+        factors=costing.factors,
+        ir=transformed,
+        code_size=costing.code_size,
+        block_spill=costing.block_spill,
+    )

@@ -1,0 +1,44 @@
+"""Compiled code versions.
+
+A *version* is "the generated code for a TS under one set of optimization
+options" (Section 4.1).  It bundles the transformed IR, the executable form,
+and the cost-model outputs; the rating methods compare versions, and the
+tuning driver swaps them in and out of the running application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.function import Function
+from ..machine.executor import CostFactors, ExecutableFunction
+from .options import OptConfig
+
+__all__ = ["Version"]
+
+
+@dataclass
+class Version:
+    """One compiled version of a tuning section."""
+
+    ts_name: str
+    config: OptConfig
+    machine_name: str
+    exe: ExecutableFunction
+    factors: CostFactors
+    ir: Function
+    code_size: float
+    label: str = ""
+    #: per-block spill cycles (diagnostics / ablation reporting)
+    block_spill: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = self.config.describe()
+
+    @property
+    def spills(self) -> bool:
+        return any(v > 0 for v in self.block_spill.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Version {self.ts_name} [{self.label}] on {self.machine_name}>"

@@ -1,0 +1,18 @@
+"""The paper's contribution: rating methods (CBR/MBR/RBR + baselines),
+the Rating Approach Consultant, search algorithms over the option space,
+TS selection, and the PEAK tuning driver."""
+
+from . import rating, search
+from .peak import PeakTuner, TuningResult, evaluate_speedup, measure_whole_program
+from .selector import SelectedTS, select_tuning_sections
+
+__all__ = [
+    "PeakTuner",
+    "SelectedTS",
+    "TuningResult",
+    "evaluate_speedup",
+    "measure_whole_program",
+    "rating",
+    "search",
+    "select_tuning_sections",
+]

@@ -1,0 +1,348 @@
+"""PEAK — the automatic performance tuning system (paper Section 4, Fig. 5).
+
+``PeakTuner.tune(workload)`` performs the full offline tuning pipeline:
+
+1. **Profile run** with the tuning input (TS times, block counts, contexts).
+2. **Rating Approach Consultant** annotates the TS with applicable methods
+   and picks the cheapest (CBR → MBR → RBR order).
+3. **Search** over the 38 ``-O3`` flags with Iterative Elimination (other
+   algorithms plug in), rating every candidate configuration with the
+   chosen method.  If a method fails to produce a converged rating within
+   its invocation budget the engine *switches* to the next applicable one
+   (Section 3).
+4. The best configuration's clean version (no instrumentation) is the
+   result; every cycle spent tuning is in the returned ledger.
+
+``evaluate_speedup`` measures the tuned configuration the way the paper's
+Fig. 7(a)/(b) does: whole-program runs of the ``ref`` dataset, tuned vs
+``-O3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compiler.options import OptConfig
+from ..compiler.pipeline import compile_version
+from ..compiler.version import Version
+from ..machine.config import MachineConfig
+from ..machine.executor import Executor
+from ..machine.perturb import NoiseModel
+from ..machine.profiler import TSProfile, profile_tuning_section
+from ..runtime.instrument import TimedExecutor
+from ..runtime.ledger import TuningLedger
+from ..runtime.save_restore import SaveRestorePlan
+from ..workloads.base import Workload
+from .rating.base import RatingResult, RatingSettings
+from .rating.baselines import AverageRating, WholeProgramRating
+from .rating.cbr import ContextBasedRating
+from .rating.consultant import ConsultantLimits, RatingPlan, consult
+from .rating.feed import InvocationFeed
+from .rating.mbr import ModelBasedRating
+from .rating.rbr import ReExecutionRating
+from .search.base import SearchAlgorithm, SearchResult
+from .search.iterative_elimination import IterativeElimination
+
+__all__ = ["PeakTuner", "TuningResult", "evaluate_speedup", "measure_whole_program"]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of tuning one workload's TS on one machine."""
+
+    workload: str
+    ts_name: str
+    machine: str
+    dataset: str
+    method_requested: str | None
+    method_used: str
+    methods_tried: list[str]
+    best_config: OptConfig
+    search: SearchResult
+    ledger: TuningLedger
+    plan: RatingPlan
+    n_versions_rated: int
+
+    @property
+    def tuning_cycles(self) -> float:
+        return self.ledger.total_cycles
+
+
+class _RatingEngine:
+    """Rates candidate configurations with the active method, switching
+    methods on convergence failure."""
+
+    def __init__(
+        self,
+        tuner: "PeakTuner",
+        workload: Workload,
+        plan: RatingPlan,
+        feed: InvocationFeed,
+        timed: TimedExecutor,
+        method: str,
+    ) -> None:
+        self.tuner = tuner
+        self.workload = workload
+        self.plan = plan
+        self.feed = feed
+        self.timed = timed
+        self.method = method
+        self.methods_tried = [method]
+        self.n_rated = 0
+        self._version_cache: dict[tuple, Version] = {}
+        self._rating_cache: dict[tuple, RatingResult] = {}
+        self._save_plan: SaveRestorePlan | None = None
+
+    # -- compilation ---------------------------------------------------- #
+
+    def version_for(self, config: OptConfig, *, instrumented: bool) -> Version:
+        key = (config.key(), instrumented)
+        v = self._version_cache.get(key)
+        if v is None:
+            fn = self.plan.instrumented_fn if instrumented else self.workload.ts
+            if fn is None:
+                raise RuntimeError("MBR requested but TS was never instrumented")
+            v = compile_version(
+                fn,
+                config,
+                self.tuner.machine,
+                program=self.workload.program,
+                checked=self.tuner.checked,
+            )
+            self._version_cache[key] = v
+        return v
+
+    # -- rating --------------------------------------------------------- #
+
+    def _rate_single(self, config: OptConfig) -> RatingResult:
+        """Rate one configuration with the active (non-RBR) method."""
+        key = (config.key(), self.method)
+        cached = self._rating_cache.get(key)
+        if cached is not None:
+            return cached
+        s = self.tuner.settings
+        if self.method == "CBR":
+            rater = ContextBasedRating(self.plan.context, s, self.timed)
+            result = rater.rate(self.version_for(config, instrumented=False), self.feed)
+        elif self.method == "MBR":
+            rater = ModelBasedRating(
+                self.plan.component_model,
+                self.plan.avg_counts,
+                s,
+                self.timed,
+                dominant=self.plan.mbr_dominant,
+            )
+            result = rater.rate(self.version_for(config, instrumented=True), self.feed)
+        elif self.method == "AVG":
+            rater = AverageRating(s, self.timed)
+            result = rater.rate(self.version_for(config, instrumented=False), self.feed)
+            result.converged = True  # AVG never switches (it is the baseline)
+        elif self.method == "WHL":
+            rater = WholeProgramRating(s, self.timed,
+                                       runs_per_rating=self.tuner.whl_runs_per_rating)
+            result = rater.rate(self.version_for(config, instrumented=False), self.feed)
+        else:  # pragma: no cover
+            raise ValueError(f"unknown rating method {self.method!r}")
+        self.n_rated += 1
+        if result.converged:
+            self._rating_cache[key] = result
+        return result
+
+    def rate(self, candidate: OptConfig, reference: OptConfig) -> float:
+        """Speed of *candidate* relative to *reference* (>1 = faster)."""
+        while True:
+            if self.method == "RBR":
+                if self._save_plan is None:
+                    self._save_plan = SaveRestorePlan(
+                        self.workload.ts, self.tuner.machine
+                    )
+                rater = ReExecutionRating(
+                    self._save_plan,
+                    self.tuner.settings,
+                    self.timed,
+                    improved=self.tuner.rbr_improved,
+                )
+                result = rater.rate_pair(
+                    self.version_for(candidate, instrumented=False),
+                    self.version_for(reference, instrumented=False),
+                    self.feed,
+                )
+                self.n_rated += 1
+                if result.converged or not self._switch():
+                    return result.eval
+                continue
+            ref_rating = self._rate_single(reference)
+            if not ref_rating.converged and self._switch():
+                continue
+            cand_rating = self._rate_single(candidate)
+            if not cand_rating.converged and self._switch():
+                continue
+            return cand_rating.speed_vs(ref_rating)
+
+    def _switch(self) -> bool:
+        """Switch to the next applicable method; True if switched."""
+        nxt = self.plan.next_method(self.method)
+        if nxt is None or nxt in self.methods_tried:
+            return False
+        self.method = nxt
+        self.methods_tried.append(nxt)
+        self._rating_cache.clear()
+        return True
+
+
+class PeakTuner:
+    """The PEAK offline tuning driver."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        *,
+        seed: int = 0,
+        settings: RatingSettings = RatingSettings(),
+        search: SearchAlgorithm | None = None,
+        limits: ConsultantLimits = ConsultantLimits(),
+        rbr_improved: bool = True,
+        whl_runs_per_rating: int = 1,
+        noise: NoiseModel | None = None,
+        checked: bool = False,
+        profile_limit: int | None = None,
+    ) -> None:
+        self.machine = machine
+        self.seed = seed
+        self.settings = settings
+        self.search = search if search is not None else IterativeElimination()
+        self.limits = limits
+        self.rbr_improved = rbr_improved
+        self.whl_runs_per_rating = whl_runs_per_rating
+        self.noise = noise
+        self.checked = checked
+        self.profile_limit = profile_limit
+
+    # ------------------------------------------------------------------ #
+
+    def profile(self, workload: Workload, dataset: str = "train") -> TSProfile:
+        """Step 1: the profile run with the tuning input."""
+        return profile_tuning_section(
+            workload.ts,
+            workload.profile_invocations(dataset, limit=self.profile_limit),
+            self.machine,
+        )
+
+    def plan(self, workload: Workload, profile: TSProfile) -> RatingPlan:
+        """Step 2: the Rating Approach Consultant."""
+        return consult(
+            workload.ts,
+            profile,
+            self.machine,
+            limits=self.limits,
+            pointer_seeds=workload.pointer_seeds,
+        )
+
+    def tune(
+        self,
+        workload: Workload,
+        dataset: str = "train",
+        method: str | None = None,
+        flags: tuple[str, ...] | None = None,
+    ) -> TuningResult:
+        """Run the full tuning pipeline on *workload*.
+
+        *method* forces a rating method ("CBR"/"MBR"/"RBR"/"WHL"/"AVG");
+        the default lets the consultant choose.  *flags* restricts the
+        searched option set (used by tests and ablations); the default
+        searches all 38.
+        """
+        profile = self.profile(workload, dataset)
+        plan = self.plan(workload, profile)
+
+        chosen = method if method is not None else plan.chosen
+        if method is not None and method in ("CBR", "MBR"):
+            if method == "CBR" and plan.context is None:
+                raise ValueError(f"CBR forced but inapplicable for {workload.name}")
+            if method == "MBR" and plan.component_model is None:
+                raise ValueError(f"MBR forced but inapplicable for {workload.name}")
+
+        ledger = TuningLedger()
+        ds = workload.dataset(dataset)
+        feed = InvocationFeed(
+            ds.generator, ds.n_invocations, ds.non_ts_cycles, ledger, seed=self.seed
+        )
+        timed = TimedExecutor(
+            self.machine, seed=self.seed, noise=self.noise, ledger=ledger
+        )
+        engine = _RatingEngine(self, workload, plan, feed, timed, chosen)
+
+        from ..compiler.flags import ALL_FLAGS
+
+        flag_names = flags if flags is not None else tuple(f.name for f in ALL_FLAGS)
+        result = self.search.search(engine.rate, flag_names, OptConfig.o3())
+
+        return TuningResult(
+            workload=workload.name,
+            ts_name=workload.ts_name,
+            machine=self.machine.name,
+            dataset=dataset,
+            method_requested=method,
+            method_used=engine.method,
+            methods_tried=engine.methods_tried,
+            best_config=result.best_config,
+            search=result,
+            ledger=ledger,
+            plan=plan,
+            n_versions_rated=engine.n_rated,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# final performance measurement (Fig. 7(a)/(b) methodology)
+
+
+def measure_whole_program(
+    workload: Workload,
+    config: OptConfig,
+    machine: MachineConfig,
+    dataset: str = "ref",
+    *,
+    runs: int = 3,
+    seed: int = 1234,
+) -> float:
+    """Mean whole-program time (cycles) of *config* on *dataset*."""
+    version = compile_version(
+        workload.ts, config, machine, program=workload.program
+    )
+    ds = workload.dataset(dataset)
+    executor = Executor(machine)
+    totals = []
+    for r in range(runs):
+        rng = np.random.default_rng(seed)  # same input file every run
+        total = ds.non_ts_cycles
+        for i in range(ds.n_invocations):
+            env = ds.env(rng, i)
+            total += executor.run(version.exe, env, factors=version.factors).cycles
+        totals.append(total)
+    return float(np.mean(totals))
+
+
+def evaluate_speedup(
+    workload: Workload,
+    tuned_config: OptConfig,
+    machine: MachineConfig,
+    dataset: str = "ref",
+    *,
+    runs: int = 2,
+    seed: int = 1234,
+) -> float:
+    """Percent improvement of *tuned_config* over ``-O3`` on *dataset*.
+
+    This is the quantity plotted in Fig. 7(a)/(b): performance is always
+    measured with the ref data set; tuning may have used train or ref.
+    """
+    t_o3 = measure_whole_program(workload, OptConfig.o3(), machine, dataset,
+                                 runs=runs, seed=seed)
+    t_tuned = measure_whole_program(workload, tuned_config, machine, dataset,
+                                    runs=runs, seed=seed)
+    if t_tuned <= 0:
+        return 0.0
+    return (t_o3 / t_tuned - 1.0) * 100.0

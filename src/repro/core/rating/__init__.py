@@ -1,0 +1,33 @@
+"""The paper's rating methods: CBR, MBR, RBR, plus WHL/AVG baselines,
+EVAL/VAR machinery, outlier elimination, and the Rating Approach
+Consultant."""
+
+from .base import Direction, InvocationSource, RatingResult, RatingSettings, rating_var, relative_var
+from .baselines import AverageRating, WholeProgramRating
+from .cbr import ContextBasedRating
+from .consultant import ConsultantLimits, RatingPlan, consult
+from .feed import InvocationFeed
+from .mbr import ModelBasedRating, regression_var, solve_component_times
+from .outliers import filter_outliers
+from .rbr import ReExecutionRating
+
+__all__ = [
+    "AverageRating",
+    "ConsultantLimits",
+    "ContextBasedRating",
+    "Direction",
+    "InvocationFeed",
+    "InvocationSource",
+    "ModelBasedRating",
+    "RatingPlan",
+    "RatingResult",
+    "RatingSettings",
+    "ReExecutionRating",
+    "WholeProgramRating",
+    "consult",
+    "filter_outliers",
+    "regression_var",
+    "rating_var",
+    "relative_var",
+    "solve_component_times",
+]

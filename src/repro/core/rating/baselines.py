@@ -1,0 +1,107 @@
+"""Baseline rating methods: WHL and AVG (paper Section 5.2).
+
+* **WHL** averages the TS's execution time over entire application runs —
+  "the best that can be achieved by static tuning", and the state of the
+  art this paper's methods beat on tuning time: every trial costs a full
+  program run.
+* **AVG** naively averages invocation times regardless of context — fast,
+  but not generally consistent: a version whose rating window happened to
+  catch light-workload invocations looks better than one rated under heavy
+  ones, so comparisons across versions are biased whenever the context mix
+  varies ("AVG does not generally produce consistent ratings as the other
+  approaches do, because it ignores the context of each invocation").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...compiler.version import Version
+from ...runtime.instrument import TIMER_COST_CYCLES, TimedExecutor
+from .base import Direction, RatingResult, RatingSettings, rating_var
+from .feed import InvocationFeed
+from .outliers import filter_outliers
+
+__all__ = ["WholeProgramRating", "AverageRating"]
+
+
+class WholeProgramRating:
+    """Rates a version by whole-program execution time."""
+
+    name = "WHL"
+
+    def __init__(
+        self,
+        settings: RatingSettings,
+        timed: TimedExecutor,
+        *,
+        runs_per_rating: int = 1,
+    ) -> None:
+        self.settings = settings
+        self.timed = timed
+        self.runs_per_rating = runs_per_rating
+
+    def rate(self, version: Version, feed: InvocationFeed) -> RatingResult:
+        """Execute ``runs_per_rating`` full program runs of *version*.
+
+        The measured per-run time is the sum of the (individually
+        jitter-perturbed) invocation times plus the non-TS time — so, as on
+        real hardware, whole-program measurements average out per-invocation
+        noise and a single run per trial rates reliably.  What WHL cannot
+        escape is its cost: the *whole* application executes per trial.
+        """
+        totals: list[float] = []
+        for _ in range(self.runs_per_rating):
+            measured_total = 0.0
+            for _ in range(feed.n_per_run):
+                env = feed.next_env()
+                res = self.timed.run_untimed(version, env)
+                self.timed.ledger.charge_invocation(res.cycles)
+                measured_total += self.timed.noise.sample(res.cycles, self.timed.rng)
+            measured_total += feed.non_ts_cycles + TIMER_COST_CYCLES
+            totals.append(measured_total)
+        arr = np.asarray(totals)
+        return RatingResult(
+            method=self.name,
+            eval=float(np.mean(arr)),
+            var=rating_var(arr) if arr.size > 1 else 0.0,
+            direction=Direction.LOWER_IS_BETTER,
+            n_samples=arr.size,
+            n_invocations=self.runs_per_rating * feed.n_per_run,
+            converged=True,
+            samples=arr,
+            notes=f"{self.runs_per_rating} full program run(s)",
+        )
+
+
+class AverageRating:
+    """Rates a version by the context-oblivious mean invocation time.
+
+    One fixed window of invocations, no context grouping, no adaptation —
+    the "naive attempt to avoid WHL's disadvantage" from Section 5.2.
+    """
+
+    name = "AVG"
+
+    def __init__(self, settings: RatingSettings, timed: TimedExecutor) -> None:
+        self.settings = settings
+        self.timed = timed
+
+    def rate(self, version: Version, feed: InvocationFeed) -> RatingResult:
+        s = self.settings
+        samples = [
+            self.timed.invoke(version, feed.next_env()).measured_cycles
+            for _ in range(s.window)
+        ]
+        clean = filter_outliers(np.asarray(samples), s.outlier_k)
+        return RatingResult(
+            method=self.name,
+            eval=float(np.mean(clean)),
+            var=rating_var(clean),
+            direction=Direction.LOWER_IS_BETTER,
+            n_samples=int(clean.size),
+            n_invocations=s.window,
+            converged=True,  # AVG never adapts; it reports what it saw
+            samples=clean,
+            notes="context-oblivious average",
+        )

@@ -1,0 +1,130 @@
+"""Context-based rating — CBR (paper Section 2.2).
+
+CBR identifies invocations of the TS that run under the same *context* (the
+values of the context variables found by the Fig. 1 analysis) and rates a
+version by the average execution time of same-context invocations.  Each
+context represents one workload, so same-context timings are directly
+comparable across versions.
+
+The rating of a version is the EVAL of its *most important* context (the
+one holding the largest share of execution time), matching the experiments
+in the paper's Section 5; all per-context ratings are also reported for
+adaptive scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...analysis.context import ContextAnalysis, context_key
+from ...compiler.version import Version
+from ...runtime.instrument import TimedExecutor
+from .base import Direction, RatingResult, RatingSettings, rating_var
+from .feed import InvocationFeed
+from .outliers import filter_outliers
+
+__all__ = ["ContextBasedRating"]
+
+
+@dataclass
+class _Bucket:
+    samples: list[float] = field(default_factory=list)
+    total_time: float = 0.0
+
+
+class ContextBasedRating:
+    """Rates versions by same-context invocation times."""
+
+    name = "CBR"
+
+    def __init__(
+        self,
+        analysis: ContextAnalysis,
+        settings: RatingSettings,
+        timed: TimedExecutor,
+    ) -> None:
+        if not analysis.applicable:
+            raise ValueError(f"CBR inapplicable: {analysis.reason}")
+        self.analysis = analysis
+        self.settings = settings
+        self.timed = timed
+
+    def rate(self, version: Version, feed: InvocationFeed) -> RatingResult:
+        """Rate *version*, consuming invocations from *feed* until the
+        dominant context's window converges (or the budget is exhausted)."""
+        s = self.settings
+        buckets: dict[tuple, _Bucket] = {}
+        consumed = 0
+        target = s.window
+
+        while consumed < s.max_invocations:
+            env = feed.next_env()
+            key = context_key(self.analysis, env)
+            sample = self.timed.invoke(version, env)
+            consumed += 1
+            b = buckets.setdefault(key, _Bucket())
+            b.samples.append(sample.measured_cycles)
+            b.total_time += sample.measured_cycles
+
+            if consumed % max(4, s.window // 2) == 0 or consumed >= s.max_invocations:
+                dom = self._dominant(buckets)
+                if dom is None:
+                    continue
+                clean = filter_outliers(
+                    np.asarray(buckets[dom].samples), s.outlier_k
+                )
+                if clean.size >= target:
+                    var = rating_var(clean)
+                    if var <= s.var_threshold:
+                        return self._result(buckets, dom, clean, consumed, True)
+                    # grow the window (paper: VAR decreases with window size)
+                    if clean.size >= target * s.window_growth:
+                        target = int(target * s.window_growth)
+
+        dom = self._dominant(buckets)
+        if dom is None:
+            return RatingResult(
+                self.name, float("nan"), float("inf"), Direction.LOWER_IS_BETTER,
+                0, consumed, False, notes="no invocations observed",
+            )
+        clean = filter_outliers(np.asarray(buckets[dom].samples), s.outlier_k)
+        return self._result(buckets, dom, clean, consumed, False)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _dominant(buckets: dict[tuple, _Bucket]) -> tuple | None:
+        if not buckets:
+            return None
+        return max(buckets, key=lambda k: buckets[k].total_time)
+
+    def _result(
+        self,
+        buckets: dict[tuple, _Bucket],
+        dom: tuple,
+        clean: np.ndarray,
+        consumed: int,
+        converged: bool,
+    ) -> RatingResult:
+        per_context = {}
+        for key, b in buckets.items():
+            arr = filter_outliers(np.asarray(b.samples), self.settings.outlier_k)
+            per_context[key] = (
+                float(np.mean(arr)) if arr.size else float("nan"),
+                rating_var(arr),
+                int(arr.size),
+            )
+        return RatingResult(
+            method=self.name,
+            eval=float(np.mean(clean)),
+            var=rating_var(clean),
+            direction=Direction.LOWER_IS_BETTER,
+            n_samples=int(clean.size),
+            n_invocations=consumed,
+            converged=converged,
+            samples=clean,
+            per_context=per_context,
+            notes=f"{len(buckets)} context(s); dominant={dom!r}",
+        )

@@ -1,0 +1,74 @@
+"""Invocation feeds: the "running application" abstraction.
+
+During tuning, the instrumented application runs and its TS gets invoked
+with the inputs the dataset dictates.  A feed yields those invocation
+environments in order; when a program run's invocations are exhausted, a new
+run starts (charged to the ledger — tuning that needs more invocations than
+one run provides costs extra whole-program executions, which is exactly the
+accounting behind Fig. 7(c)/(d)).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ...runtime.ledger import TuningLedger
+
+__all__ = ["InvocationFeed"]
+
+
+class InvocationFeed:
+    """Sequentially yields invocation environments from a dataset.
+
+    Parameters
+    ----------
+    generator:
+        ``generator(rng, i) -> env`` building the i'th invocation's inputs.
+    n_per_run:
+        invocations of the TS in one program run.
+    non_ts_cycles:
+        cycles the application spends outside the TS per run.
+    ledger:
+        tuning ledger charged at program-run boundaries.
+    seed:
+        base seed; each program run re-derives its input RNG from it, so the
+        same dataset replays identically across runs (like re-running the
+        application on the same input file).
+    """
+
+    def __init__(
+        self,
+        generator: Callable[[np.random.Generator, int], dict],
+        n_per_run: int,
+        non_ts_cycles: float,
+        ledger: TuningLedger,
+        seed: int = 0,
+    ) -> None:
+        if n_per_run <= 0:
+            raise ValueError("a program run must contain at least one invocation")
+        self.generator = generator
+        self.n_per_run = n_per_run
+        self.non_ts_cycles = non_ts_cycles
+        self.ledger = ledger
+        self.seed = seed
+        self._index = 0
+        self._rng = None
+
+    @property
+    def invocations_consumed(self) -> int:
+        return self._index
+
+    def next_env(self) -> dict:
+        pos = self._index % self.n_per_run
+        if pos == 0:
+            self.ledger.start_program_run(self.non_ts_cycles)
+            self._rng = np.random.default_rng(self.seed)
+        env = self.generator(self._rng, pos)
+        self._index += 1
+        return env
+
+    def iter(self, n: int) -> Iterator[dict]:
+        for _ in range(n):
+            yield self.next_env()

@@ -1,0 +1,41 @@
+"""Measurement-outlier elimination (paper Section 3).
+
+"The tuning engine also identifies and eliminates measurement outliers,
+which are far away from the average.  Such data may result from system
+perturbations, such as interrupts."
+
+We use the robust median/MAD rule: a sample is an outlier when it lies more
+than ``k`` scaled MADs from the median.  With a degenerate MAD (many equal
+samples) a relative fallback of 3x the median applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["filter_outliers"]
+
+#: scale factor making MAD comparable to a standard deviation for normals
+_MAD_SCALE = 1.4826
+
+
+def filter_outliers(samples: np.ndarray, k: float = 8.0) -> np.ndarray:
+    """Return *samples* with outliers removed (order preserved).
+
+    Never removes more than half of the data: if the rule would, the data is
+    not outlier-contaminated but genuinely spread, and everything is kept.
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.size < 4:
+        return x
+    med = float(np.median(x))
+    mad = float(np.median(np.abs(x - med))) * _MAD_SCALE
+    if mad > 0:
+        keep = np.abs(x - med) <= k * mad
+    elif med > 0:
+        keep = x <= 3.0 * med
+    else:
+        return x
+    if keep.sum() < x.size // 2:
+        return x
+    return x[keep]

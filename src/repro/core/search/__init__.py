@@ -1,0 +1,28 @@
+"""Search algorithms over the optimization-option space."""
+
+from .alternatives import (
+    BatchElimination,
+    ExhaustiveSearch,
+    FractionalFactorial,
+    GreedyConstruction,
+    RandomSearch,
+)
+from .base import Measurement, RateFn, SearchAlgorithm, SearchResult
+from .combined_elimination import CombinedElimination
+from .iterative_elimination import IterativeElimination
+from .ose import OptimizationSpaceExploration
+
+__all__ = [
+    "BatchElimination",
+    "CombinedElimination",
+    "ExhaustiveSearch",
+    "FractionalFactorial",
+    "GreedyConstruction",
+    "IterativeElimination",
+    "Measurement",
+    "OptimizationSpaceExploration",
+    "RandomSearch",
+    "RateFn",
+    "SearchAlgorithm",
+    "SearchResult",
+]

@@ -1,0 +1,179 @@
+"""Alternative search algorithms — the pluggable pruning strategies the
+paper cites ([2] Chow & Wu fractional factorial design, [13] OSE-style
+pruning), plus simple baselines for the search ablation (experiment E11).
+
+All operate through the same ``RateFn`` interface as Iterative Elimination.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from ...compiler.options import OptConfig
+from .base import Measurement, RateFn, SearchAlgorithm, SearchResult
+
+__all__ = [
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "BatchElimination",
+    "FractionalFactorial",
+    "GreedyConstruction",
+]
+
+
+class ExhaustiveSearch(SearchAlgorithm):
+    """Tries every subset of the given flags (O(2^n) — tests/small spaces)."""
+
+    name = "EXH"
+
+    def __init__(self, *, max_flags: int = 12) -> None:
+        self.max_flags = max_flags
+
+    def search(
+        self, rate: RateFn, flags: Sequence[str], start: OptConfig
+    ) -> SearchResult:
+        if len(flags) > self.max_flags:
+            raise ValueError(
+                f"exhaustive search over {len(flags)} flags is intractable "
+                f"(limit {self.max_flags})"
+            )
+        log: list[Measurement] = []
+        best = start
+        best_speed = 1.0
+        for r in range(1, len(flags) + 1):
+            for off in combinations(flags, r):
+                candidate = start.without(*off)
+                speed = self._measure(rate, candidate, start, log)
+                if speed > best_speed:
+                    best, best_speed = candidate, speed
+        return SearchResult(self.name, best, best_speed, log)
+
+
+class RandomSearch(SearchAlgorithm):
+    """Rates uniformly random subsets; keeps the best (a common baseline)."""
+
+    name = "RAND"
+
+    def __init__(self, *, n_samples: int = 60, seed: int = 0) -> None:
+        self.n_samples = n_samples
+        self.seed = seed
+
+    def search(
+        self, rate: RateFn, flags: Sequence[str], start: OptConfig
+    ) -> SearchResult:
+        rng = np.random.default_rng(self.seed)
+        log: list[Measurement] = []
+        best = start
+        best_speed = 1.0
+        for _ in range(self.n_samples):
+            mask = rng.random(len(flags)) < 0.5
+            off = [f for f, m in zip(flags, mask) if m]
+            candidate = start.without(*off)
+            speed = self._measure(rate, candidate, start, log)
+            if speed > best_speed:
+                best, best_speed = candidate, speed
+        return SearchResult(self.name, best, best_speed, log)
+
+
+class BatchElimination(SearchAlgorithm):
+    """Measures each option's individual effect once from the start config,
+    then removes *all* harmful options in one batch (O(n) ratings; cheaper
+    than IE but blind to interactions)."""
+
+    name = "BE"
+
+    def search(
+        self, rate: RateFn, flags: Sequence[str], start: OptConfig
+    ) -> SearchResult:
+        log: list[Measurement] = []
+        harmful: list[str] = []
+        for f in flags:
+            if f not in start:
+                continue
+            speed = self._measure(rate, start.without(f), start, log)
+            if speed > 1.0 + self.improvement_margin:
+                harmful.append(f)
+        best = start.without(*harmful)
+        if harmful:
+            final = self._measure(rate, best, start, log)
+        else:
+            final = 1.0
+        return SearchResult(self.name, best, final, log)
+
+
+class FractionalFactorial(SearchAlgorithm):
+    """Chow & Wu-style fractional factorial design [2].
+
+    Rates a balanced pseudo-random two-level design over the flags, fits
+    main effects by least squares on log-speed, and switches off the flags
+    whose estimated main effect is harmful.  O(runs) ratings with
+    ``runs ~ 2·n_flags`` by default.
+    """
+
+    name = "FFD"
+
+    def __init__(self, *, runs_factor: float = 2.0, seed: int = 0) -> None:
+        self.runs_factor = runs_factor
+        self.seed = seed
+
+    def search(
+        self, rate: RateFn, flags: Sequence[str], start: OptConfig
+    ) -> SearchResult:
+        rng = np.random.default_rng(self.seed)
+        n = len(flags)
+        runs = max(n + 2, int(self.runs_factor * n))
+        log: list[Measurement] = []
+
+        # balanced +-1 design matrix (columns ~ zero-sum)
+        design = np.ones((runs, n))
+        for j in range(n):
+            col = np.array([1.0] * (runs // 2) + [-1.0] * (runs - runs // 2))
+            rng.shuffle(col)
+            design[:, j] = col
+
+        speeds = np.empty(runs)
+        for i in range(runs):
+            off = [flags[j] for j in range(n) if design[i, j] < 0]
+            candidate = start.without(*off)
+            speeds[i] = self._measure(rate, candidate, start, log)
+
+        # main effects on log-speed: speed ~ exp(b0 + sum_j b_j x_j)
+        X = np.hstack([np.ones((runs, 1)), design])
+        y = np.log(np.maximum(speeds, 1e-12))
+        coef, *_ = np.linalg.lstsq(X, y, rcond=None)
+        effects = coef[1:]
+        # a *negative* effect means the flag being ON slows the program
+        harmful = [flags[j] for j in range(n) if effects[j] < -np.log(1.0 + self.improvement_margin) / 2]
+        best = start.without(*harmful)
+        final = self._measure(rate, best, start, log) if harmful else 1.0
+        return SearchResult(self.name, best, final, log)
+
+
+class GreedyConstruction(SearchAlgorithm):
+    """Starts from no options and greedily adds the single most helpful one
+    until nothing helps (the mirror image of IE)."""
+
+    name = "GREEDY"
+
+    def search(
+        self, rate: RateFn, flags: Sequence[str], start: OptConfig
+    ) -> SearchResult:
+        log: list[Measurement] = []
+        current = start.without(*flags)
+        remaining = [f for f in flags]
+        est = self._measure(rate, current, start, log)
+        while remaining:
+            speeds = {
+                f: self._measure(rate, current.with_(f), current, log)
+                for f in remaining
+            }
+            best_flag = max(speeds, key=speeds.__getitem__)
+            if speeds[best_flag] <= 1.0 + self.improvement_margin:
+                break
+            current = current.with_(best_flag)
+            remaining.remove(best_flag)
+            est *= speeds[best_flag]
+        return SearchResult(self.name, current, est, log)

@@ -1,0 +1,75 @@
+"""Search-algorithm interface over the optimization-option space.
+
+A search algorithm explores subsets of the 38 ``-O3`` flags, asking the
+tuning engine to *rate* candidate configurations.  The rate function
+returns the candidate's relative speed against a reference configuration
+(>1 means the candidate is faster); how that ratio is produced (CBR, MBR,
+RBR, WHL, AVG) is the engine's business — "alternative pruning algorithms
+could also be plugged into our system" (paper Section 5.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ...compiler.options import OptConfig
+
+__all__ = ["RateFn", "Measurement", "SearchResult", "SearchAlgorithm"]
+
+#: rate(candidate, reference) -> speed of candidate relative to reference
+RateFn = Callable[[OptConfig, OptConfig], float]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One rating the search requested."""
+
+    candidate: OptConfig
+    reference: OptConfig
+    speed: float
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search."""
+
+    algorithm: str
+    best_config: OptConfig
+    #: estimated speed of the best config relative to the starting config
+    est_speed_vs_start: float
+    measurements: list[Measurement] = field(default_factory=list)
+
+    @property
+    def n_ratings(self) -> int:
+        return len(self.measurements)
+
+
+class SearchAlgorithm(ABC):
+    """Base class of option-space search strategies."""
+
+    name: str = "base"
+
+    #: a removal/addition must beat this relative-speed margin to be applied
+    improvement_margin: float = 0.02
+
+    @abstractmethod
+    def search(
+        self,
+        rate: RateFn,
+        flags: Sequence[str],
+        start: OptConfig,
+    ) -> SearchResult:
+        """Explore configurations reachable by toggling *flags* from *start*."""
+
+    def _measure(
+        self,
+        rate: RateFn,
+        candidate: OptConfig,
+        reference: OptConfig,
+        log: list[Measurement],
+    ) -> float:
+        speed = rate(candidate, reference)
+        log.append(Measurement(candidate, reference, speed))
+        return speed

@@ -1,0 +1,76 @@
+"""Combined Elimination (CE) — the authors' follow-up search algorithm.
+
+Pan & Eigenmann's subsequent work ("Fast and Effective Orchestration of
+Compiler Optimizations", CGO 2006) replaced Iterative Elimination with
+*Combined Elimination*: measure each option's individual effect once (like
+Batch Elimination), remove the single most harmful option, then re-test
+only the *remaining candidates that looked harmful* against the new
+baseline — combining BE's low cost with IE's interaction awareness.
+
+Included here as a documented extension (the SC'04 paper under
+reproduction pre-dates it, but notes that alternative pruning algorithms
+plug in).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...compiler.options import OptConfig
+from .base import Measurement, RateFn, SearchAlgorithm, SearchResult
+
+__all__ = ["CombinedElimination"]
+
+
+class CombinedElimination(SearchAlgorithm):
+    """BE's single sweep + IE's interaction awareness (the CGO'06 follow-up)."""
+
+    name = "CE"
+
+    def __init__(self, *, improvement_margin: float = 0.02) -> None:
+        self.improvement_margin = improvement_margin
+
+    def search(
+        self,
+        rate: RateFn,
+        flags: Sequence[str],
+        start: OptConfig,
+    ) -> SearchResult:
+        log: list[Measurement] = []
+        current = start
+        est_speed = 1.0
+
+        # Step 1: measure every option's RIP against the start config.
+        rips: dict[str, float] = {}
+        for f in flags:
+            if f not in current:
+                continue
+            rips[f] = self._measure(rate, current.without(f), current, log)
+
+        # Step 2+: repeatedly remove the worst offender, then re-measure the
+        # remaining *harmful-looking* candidates against the new baseline.
+        candidates = {
+            f for f, s in rips.items() if s > 1.0 + self.improvement_margin
+        }
+        while candidates:
+            worst = max(candidates, key=lambda f: rips[f])
+            if rips[worst] <= 1.0 + self.improvement_margin:
+                break
+            current = current.without(worst)
+            est_speed *= rips[worst]
+            candidates.discard(worst)
+            # re-test the remaining suspicious options only
+            stale = list(candidates)
+            candidates.clear()
+            for f in stale:
+                s = self._measure(rate, current.without(f), current, log)
+                rips[f] = s
+                if s > 1.0 + self.improvement_margin:
+                    candidates.add(f)
+
+        return SearchResult(
+            algorithm=self.name,
+            best_config=current,
+            est_speed_vs_start=est_speed,
+            measurements=log,
+        )

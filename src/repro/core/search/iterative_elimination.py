@@ -1,0 +1,74 @@
+"""Iterative Elimination (IE) — the paper's search algorithm [11].
+
+"It starts with O3 and iteratively removes the optimizations with the
+largest negative effects", reducing the search complexity from O(2^n)
+exhaustive to O(n^2):
+
+1. Start with all options on; the current configuration is the baseline.
+2. For every remaining option, rate the configuration with just that option
+   switched off, relative to the current baseline (its RIP — relative
+   improvement percentage).
+3. If the best removal improves performance beyond the margin, apply it
+   (remove the option permanently) and repeat from 2 with the improved
+   configuration as the new baseline.
+4. Stop when no single removal helps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...compiler.options import OptConfig
+from .base import Measurement, RateFn, SearchAlgorithm, SearchResult
+
+__all__ = ["IterativeElimination"]
+
+
+class IterativeElimination(SearchAlgorithm):
+    """The paper's O(n²) search: repeatedly remove the most harmful option."""
+
+    name = "IE"
+
+    def __init__(
+        self,
+        *,
+        improvement_margin: float = 0.02,
+        max_rounds: int | None = None,
+    ) -> None:
+        self.improvement_margin = improvement_margin
+        self.max_rounds = max_rounds
+
+    def search(
+        self,
+        rate: RateFn,
+        flags: Sequence[str],
+        start: OptConfig,
+    ) -> SearchResult:
+        log: list[Measurement] = []
+        current = start
+        remaining = [f for f in flags if f in current]
+        est_speed = 1.0
+        rounds = 0
+
+        while remaining:
+            if self.max_rounds is not None and rounds >= self.max_rounds:
+                break
+            rounds += 1
+            speeds: dict[str, float] = {}
+            for f in remaining:
+                candidate = current.without(f)
+                speeds[f] = self._measure(rate, candidate, current, log)
+            best_flag = max(speeds, key=speeds.__getitem__)
+            best_speed = speeds[best_flag]
+            if best_speed <= 1.0 + self.improvement_margin:
+                break  # no removal helps: converged
+            current = current.without(best_flag)
+            remaining.remove(best_flag)
+            est_speed *= best_speed
+
+        return SearchResult(
+            algorithm=self.name,
+            best_config=current,
+            est_speed_vs_start=est_speed,
+            measurements=log,
+        )

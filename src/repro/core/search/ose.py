@@ -1,0 +1,103 @@
+"""Optimization-Space Exploration (OSE) — reference [13] of the paper.
+
+Triantafyllis et al.'s OSE compiler "defines sets of optimization
+configurations and an exploration space": rather than toggling individual
+flags, it keeps a small set of hand-designed configurations and explores
+combinations of their *differences* from the default in a beam search.
+
+Our rendition: a library of characteristic configuration deltas (scheduler
+off, aliasing off, loop machinery off, branch shaping off, CSE family off,
+...), explored breadth-first with a beam — each generation merges the
+current beam members with every delta and keeps the best ``beam_width``
+configurations.  O(generations × beam × deltas) ratings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...compiler.options import OptConfig
+from .base import Measurement, RateFn, SearchAlgorithm, SearchResult
+
+__all__ = ["OptimizationSpaceExploration", "DEFAULT_DELTAS"]
+
+#: characteristic configuration deltas: named groups of flags to disable
+DEFAULT_DELTAS: dict[str, tuple[str, ...]] = {
+    "no-sched": ("schedule-insns", "schedule-insns2", "sched-interblock", "sched-spec"),
+    "no-alias": ("strict-aliasing",),
+    "no-loop": ("loop-optimize", "rerun-loop-opt", "rerun-cse-after-loop"),
+    "no-branch-shape": ("guess-branch-probability", "reorder-blocks", "if-conversion",
+                        "if-conversion2"),
+    "no-cse": ("gcse", "gcse-lm", "gcse-sm", "cse-follow-jumps", "cse-skip-blocks"),
+    "no-regalloc-pressure": ("caller-saves", "force-mem", "rename-registers"),
+    "no-align": ("align-functions", "align-jumps", "align-loops", "align-labels"),
+    "no-inline": ("inline-functions",),
+}
+
+
+class OptimizationSpaceExploration(SearchAlgorithm):
+    """Beam search over characteristic configuration deltas (OSE, [13])."""
+
+    name = "OSE"
+
+    def __init__(
+        self,
+        *,
+        deltas: dict[str, tuple[str, ...]] | None = None,
+        beam_width: int = 3,
+        generations: int = 3,
+        improvement_margin: float = 0.02,
+    ) -> None:
+        self.deltas = dict(deltas) if deltas is not None else dict(DEFAULT_DELTAS)
+        self.beam_width = beam_width
+        self.generations = generations
+        self.improvement_margin = improvement_margin
+
+    def search(
+        self,
+        rate: RateFn,
+        flags: Sequence[str],
+        start: OptConfig,
+    ) -> SearchResult:
+        log: list[Measurement] = []
+        flag_set = set(flags)
+        # restrict deltas to the searched flag subspace
+        deltas = {
+            name: tuple(f for f in group if f in flag_set)
+            for name, group in self.deltas.items()
+        }
+        deltas = {n: g for n, g in deltas.items() if g}
+
+        scored: dict[tuple, float] = {start.key(): 1.0}
+        beam: list[OptConfig] = [start]
+        best, best_speed = start, 1.0
+
+        for _ in range(self.generations):
+            next_candidates: list[OptConfig] = []
+            for member in beam:
+                for group in deltas.values():
+                    cand = member.without(*group)
+                    if cand.key() in scored:
+                        continue
+                    speed = self._measure(rate, cand, start, log)
+                    scored[cand.key()] = speed
+                    next_candidates.append(cand)
+                    if speed > best_speed:
+                        best, best_speed = cand, speed
+            if not next_candidates:
+                break
+            next_candidates.sort(key=lambda c: scored[c.key()], reverse=True)
+            beam = next_candidates[: self.beam_width]
+            # prune: a generation that did not improve ends the exploration
+            if scored[beam[0].key()] <= best_speed - 1e-12 and beam[0] is not best:
+                if scored[beam[0].key()] < 1.0 + self.improvement_margin:
+                    break
+
+        if best_speed <= 1.0 + self.improvement_margin:
+            best, best_speed = start, 1.0
+        return SearchResult(
+            algorithm=self.name,
+            best_config=best,
+            est_speed_vs_start=best_speed,
+            measurements=log,
+        )

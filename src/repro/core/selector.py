@@ -1,0 +1,69 @@
+"""Tuning-section selection (paper Section 4.1, Fig. 5 step 1).
+
+"We choose as TS's the most time-consuming functions and loops, according
+to the program execution profiles."  The selector ranks candidate functions
+by their profiled time share and keeps the smallest set covering a target
+fraction of total time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.profiler import TSProfile
+
+__all__ = ["SelectedTS", "select_tuning_sections"]
+
+
+@dataclass(frozen=True)
+class SelectedTS:
+    """One selected tuning section with its profile statistics."""
+
+    name: str
+    total_time: float
+    time_share: float
+    n_invocations: int
+
+
+def select_tuning_sections(
+    profiles: dict[str, TSProfile],
+    *,
+    coverage: float = 0.8,
+    min_share: float = 0.05,
+    max_sections: int | None = None,
+) -> list[SelectedTS]:
+    """Pick the most time-consuming functions from per-function profiles.
+
+    Functions are taken in descending time order until *coverage* of total
+    profiled time is reached; functions below *min_share* are never
+    selected (too small to be worth tuning — their timer overhead would
+    dominate).
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    total = sum(p.total_time for p in profiles.values())
+    if total <= 0:
+        return []
+    ranked = sorted(
+        profiles.items(), key=lambda kv: kv[1].total_time, reverse=True
+    )
+    out: list[SelectedTS] = []
+    covered = 0.0
+    for name, prof in ranked:
+        share = prof.total_time / total
+        if share < min_share:
+            break
+        if covered >= coverage * total:
+            break
+        if max_sections is not None and len(out) >= max_sections:
+            break
+        out.append(
+            SelectedTS(
+                name=name,
+                total_time=prof.total_time,
+                time_share=share,
+                n_invocations=prof.n_invocations,
+            )
+        )
+        covered += prof.total_time
+    return out

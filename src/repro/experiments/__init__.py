@@ -1,0 +1,21 @@
+"""Regeneration harness for every table and figure in the paper's
+evaluation section (see DESIGN.md's per-experiment index)."""
+
+from .consistency import ConsistencyRow, DEFAULT_WINDOWS, consistency_experiment
+from .figure7 import Figure7Entry, TUNED, figure7_experiment, methods_for
+from .summary import HeadlineSummary, summarize
+from .tables import render_bars, render_table
+
+__all__ = [
+    "ConsistencyRow",
+    "DEFAULT_WINDOWS",
+    "Figure7Entry",
+    "HeadlineSummary",
+    "TUNED",
+    "consistency_experiment",
+    "figure7_experiment",
+    "methods_for",
+    "render_bars",
+    "render_table",
+    "summarize",
+]

@@ -1,0 +1,86 @@
+"""Experiment E7 — the paper's headline aggregates.
+
+"Using the rating methods suggested by PEAK, the tuning system achieves up
+to 178% performance improvements (26% on average).  Also, compared to the
+WHL approach that rates optimization techniques using whole-program
+execution, our techniques lead to a reduction in program tuning time of up
+to 96% (80% on average)."
+
+The aggregates are computed over the PEAK-suggested method per benchmark
+(not over WHL/AVG baselines), tuning with the train data set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .figure7 import Figure7Entry
+
+__all__ = ["HeadlineSummary", "summarize"]
+
+
+@dataclass
+class HeadlineSummary:
+    """The four headline numbers."""
+
+    max_improvement_pct: float
+    mean_improvement_pct: float
+    max_tuning_time_reduction_pct: float
+    mean_tuning_time_reduction_pct: float
+    n_cases: int
+
+    def render(self) -> str:
+        return (
+            f"performance improvement: up to {self.max_improvement_pct:.0f}% "
+            f"({self.mean_improvement_pct:.0f}% on average); "
+            f"tuning-time reduction vs WHL: up to "
+            f"{self.max_tuning_time_reduction_pct:.0f}% "
+            f"({self.mean_tuning_time_reduction_pct:.0f}% on average) "
+            f"[{self.n_cases} benchmark/machine cases]"
+        )
+
+
+def summarize(
+    entries: list[Figure7Entry],
+    *,
+    suggested: dict[tuple[str, str], str] | None = None,
+    dataset: str = "train",
+) -> HeadlineSummary:
+    """Aggregate Fig. 7 entries into the headline numbers.
+
+    *suggested* maps (benchmark, machine) -> the PEAK-chosen method; when
+    omitted, the entries' own ``suggested`` flags (set by the consultant
+    during the Fig. 7 experiment) are used.
+    """
+    per_case: dict[tuple[str, str], Figure7Entry] = {}
+    for e in entries:
+        if e.dataset != dataset or e.method in ("WHL", "AVG"):
+            continue
+        key = (e.benchmark, e.machine)
+        if suggested is not None:
+            if suggested.get(key) != e.method:
+                continue
+            per_case[key] = e
+        elif e.suggested:
+            per_case[key] = e
+
+    if not per_case:
+        raise ValueError("no matching entries to summarize")
+
+    improvements = np.array([e.improvement_pct for e in per_case.values()])
+    reductions = np.array(
+        [
+            (1.0 - e.normalized_tuning_time) * 100.0
+            for e in per_case.values()
+            if np.isfinite(e.normalized_tuning_time)
+        ]
+    )
+    return HeadlineSummary(
+        max_improvement_pct=float(np.max(improvements)),
+        mean_improvement_pct=float(np.mean(improvements)),
+        max_tuning_time_reduction_pct=float(np.max(reductions)) if reductions.size else float("nan"),
+        mean_tuning_time_reduction_pct=float(np.mean(reductions)) if reductions.size else float("nan"),
+        n_cases=len(per_case),
+    )

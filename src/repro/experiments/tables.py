@@ -1,0 +1,62 @@
+"""Plain-text table and bar-chart rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_bars"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table (the benches print these)."""
+    cols = len(headers)
+    cells = [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != cols:
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in cells)) if cells else len(headers[j])
+        for j in range(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_bars(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 46,
+    unit: str = "%",
+    title: str | None = None,
+) -> str:
+    """Render a horizontal ASCII bar chart (the benches' figure panels).
+
+    Negative values render left-facing bars; the scale is set by the largest
+    absolute value.
+    """
+    out: list[str] = []
+    if title:
+        out.append(title)
+        out.append("-" * len(title))
+    if not items:
+        return "\n".join(out + ["(no data)"])
+    label_w = max(len(label) for label, _ in items)
+    peak = max(abs(v) for _, v in items) or 1.0
+    for label, value in items:
+        n = int(round(abs(value) / peak * width))
+        bar = ("#" * n) if value >= 0 else ("-" * n)
+        out.append(f"{label.ljust(label_w)} | {bar} {value:.2f}{unit}")
+    return "\n".join(out)

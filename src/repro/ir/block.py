@@ -1,0 +1,54 @@
+"""Basic blocks for the reproduction IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .stmt import Stmt, Terminator
+
+__all__ = ["BasicBlock"]
+
+
+@dataclass
+class BasicBlock:
+    """A labelled basic block: straight-line statements plus one terminator.
+
+    Blocks are the unit of the paper's MBR model (Eq. 1: ``T_TS = Σ T_b·C_b``)
+    and of the executor's cycle accounting, so the compiler never merges
+    statements across block boundaries except through explicit CFG passes.
+    """
+
+    label: str
+    stmts: list[Stmt] = field(default_factory=list)
+    terminator: Terminator | None = None
+
+    def uses(self) -> frozenset[str]:
+        """All variables read anywhere in the block (incl. terminator)."""
+        out: set[str] = set()
+        for s in self.stmts:
+            out |= s.uses()
+        if self.terminator is not None:
+            out |= self.terminator.uses()
+        return frozenset(out)
+
+    def defs(self) -> frozenset[str]:
+        """All variables possibly written in the block."""
+        out: set[str] = set()
+        for s in self.stmts:
+            out |= s.defs()
+        return frozenset(out)
+
+    def successors(self) -> tuple[str, ...]:
+        if self.terminator is None:
+            return ()
+        return self.terminator.targets()
+
+    def copy(self) -> "BasicBlock":
+        """Shallow-copy the block (statements are immutable, list is new)."""
+        return BasicBlock(self.label, list(self.stmts), self.terminator)
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines += [f"  {s}" for s in self.stmts]
+        lines.append(f"  {self.terminator}")
+        return "\n".join(lines)

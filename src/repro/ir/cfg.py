@@ -1,0 +1,122 @@
+"""Control-flow graphs for the reproduction IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .block import BasicBlock
+from .stmt import CondBranch, Jump, Return
+
+__all__ = ["CFG"]
+
+
+@dataclass
+class CFG:
+    """A control-flow graph: an entry label and a mapping label → block.
+
+    The block dictionary preserves insertion order; ``rpo()`` computes a
+    reverse-postorder over reachable blocks, which every forward dataflow
+    analysis iterates in.
+    """
+
+    entry: str
+    blocks: dict[str, BasicBlock] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # structure queries
+
+    def block(self, label: str) -> BasicBlock:
+        return self.blocks[label]
+
+    def successors(self, label: str) -> tuple[str, ...]:
+        return self.blocks[label].successors()
+
+    def predecessors_map(self) -> dict[str, list[str]]:
+        """Map each label to the labels of its predecessors."""
+        preds: dict[str, list[str]] = {label: [] for label in self.blocks}
+        for label, blk in self.blocks.items():
+            for succ in blk.successors():
+                preds[succ].append(label)
+        return preds
+
+    def rpo(self) -> list[str]:
+        """Reverse-postorder of blocks reachable from the entry."""
+        seen: set[str] = set()
+        post: list[str] = []
+
+        # Iterative DFS to avoid recursion limits on long CFG chains.
+        stack: list[tuple[str, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            label, idx = stack[-1]
+            succs = self.blocks[label].successors()
+            if idx < len(succs):
+                stack[-1] = (label, idx + 1)
+                nxt = succs[idx]
+                # Dangling edges are tolerated here (the validator reports
+                # them with a proper diagnostic); just skip them.
+                if nxt not in seen and nxt in self.blocks:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                post.append(label)
+                stack.pop()
+        return list(reversed(post))
+
+    def reachable(self) -> set[str]:
+        return set(self.rpo())
+
+    def exit_labels(self) -> list[str]:
+        """Labels of blocks terminated by ``Return``."""
+        return [
+            label
+            for label, blk in self.blocks.items()
+            if isinstance(blk.terminator, Return)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # mutation helpers used by optimization passes
+
+    def add_block(self, block: BasicBlock) -> None:
+        if block.label in self.blocks:
+            raise ValueError(f"duplicate block label {block.label!r}")
+        self.blocks[block.label] = block
+
+    def remove_unreachable(self) -> int:
+        """Drop unreachable blocks; return how many were removed."""
+        live = self.reachable()
+        dead = [label for label in self.blocks if label not in live]
+        for label in dead:
+            del self.blocks[label]
+        return len(dead)
+
+    def retarget(self, old: str, new: str) -> None:
+        """Redirect every edge pointing at *old* to point at *new*."""
+        for blk in self.blocks.values():
+            t = blk.terminator
+            if isinstance(t, Jump) and t.target == old:
+                blk.terminator = Jump(new)
+            elif isinstance(t, CondBranch):
+                then = new if t.then == old else t.then
+                orelse = new if t.orelse == old else t.orelse
+                if (then, orelse) != (t.then, t.orelse):
+                    blk.terminator = CondBranch(t.cond, then, orelse)
+        if self.entry == old:
+            self.entry = new
+
+    def copy(self) -> "CFG":
+        return CFG(self.entry, {label: blk.copy() for label, blk in self.blocks.items()})
+
+    def fresh_label(self, base: str) -> str:
+        """Return a block label derived from *base* not yet present."""
+        if base not in self.blocks:
+            return base
+        i = 1
+        while f"{base}.{i}" in self.blocks:
+            i += 1
+        return f"{base}.{i}"
+
+    def __str__(self) -> str:
+        order = self.rpo()
+        rest = [label for label in self.blocks if label not in set(order)]
+        return "\n".join(str(self.blocks[label]) for label in order + rest)

@@ -1,0 +1,113 @@
+"""Functions (tuning sections) and whole programs for the reproduction IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import CFG
+from .types import Type, is_array, is_scalar
+
+__all__ = ["Param", "Function", "Program"]
+
+
+@dataclass(frozen=True)
+class Param:
+    """A function parameter: name and type.
+
+    Array parameters are passed by reference, matching the paper's model in
+    which a tuning section reads and writes program state in place.
+    """
+
+    name: str
+    type: Type
+
+
+@dataclass
+class Function:
+    """An IR function.  A *tuning section* (TS) is simply a function that the
+    TS selector extracted; PEAK compiles it separately under many option sets.
+    """
+
+    name: str
+    params: list[Param]
+    cfg: CFG
+    #: declared local variables (name → type); locals are dead on entry.
+    locals: dict[str, Type] = field(default_factory=dict)
+    #: return type, or None for void functions.
+    return_type: Type | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def param_names(self) -> list[str]:
+        return [p.name for p in self.params]
+
+    def param_types(self) -> dict[str, Type]:
+        return {p.name: p.type for p in self.params}
+
+    def var_type(self, name: str) -> Type:
+        for p in self.params:
+            if p.name == name:
+                return p.type
+        if name in self.locals:
+            return self.locals[name]
+        raise KeyError(f"unknown variable {name!r} in function {self.name!r}")
+
+    def all_vars(self) -> dict[str, Type]:
+        out = {p.name: p.type for p in self.params}
+        out.update(self.locals)
+        return out
+
+    def scalar_params(self) -> list[str]:
+        return [p.name for p in self.params if is_scalar(p.type)]
+
+    def array_params(self) -> list[str]:
+        return [p.name for p in self.params if is_array(p.type)]
+
+    def copy(self) -> "Function":
+        return Function(
+            name=self.name,
+            params=list(self.params),
+            cfg=self.cfg.copy(),
+            locals=dict(self.locals),
+            return_type=self.return_type,
+        )
+
+    def __str__(self) -> str:
+        sig = ", ".join(f"{p.name}: {p.type.value}" for p in self.params)
+        header = f"func {self.name}({sig})"
+        if self.return_type is not None:
+            header += f" -> {self.return_type.value}"
+        decls = "".join(
+            f"\n  local {n}: {t.value}" for n, t in sorted(self.locals.items())
+        )
+        return f"{header}{decls}\n{self.cfg}"
+
+
+@dataclass
+class Program:
+    """A collection of IR functions plus global variable declarations.
+
+    The workload harness plays the role of the paper's "main program": it
+    drives TS invocations with generated inputs and accounts for the time the
+    application spends *outside* tuning sections via a per-run overhead (see
+    :class:`repro.workloads.base.Workload`).
+    """
+
+    name: str
+    functions: dict[str, Function] = field(default_factory=dict)
+    globals: dict[str, Type] = field(default_factory=dict)
+
+    def add(self, fn: Function) -> None:
+        if fn.name in self.functions:
+            raise ValueError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def copy(self) -> "Program":
+        return Program(
+            self.name,
+            {n: f.copy() for n, f in self.functions.items()},
+            dict(self.globals),
+        )

@@ -1,0 +1,197 @@
+"""Statements and block terminators for the reproduction IR.
+
+A basic block holds a list of straight-line statements followed by exactly one
+terminator.  Statements are *mutable only by replacement*: passes build new
+statement objects rather than mutating in place, which keeps analyses that
+cache statement identity sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .expr import ArrayRef, Expr, Var
+
+__all__ = [
+    "Stmt",
+    "Assign",
+    "CallStmt",
+    "Terminator",
+    "Jump",
+    "CondBranch",
+    "Return",
+]
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class of straight-line statements."""
+
+    def uses(self) -> frozenset[str]:
+        """All variable names read by the statement."""
+        raise NotImplementedError
+
+    def scalar_uses(self) -> frozenset[str]:
+        """Scalar variable names read by the statement."""
+        raise NotImplementedError
+
+    def defs(self) -> frozenset[str]:
+        """Variable names (possibly) written by the statement.
+
+        An assignment through ``ArrayRef`` *defines* the array name in the
+        may-def sense used by ``Def(TS)`` in the paper (Eq. 6).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = expr`` where target is a scalar ``Var`` or an ``ArrayRef``."""
+
+    target: Union[Var, ArrayRef]
+    expr: Expr
+
+    def uses(self) -> frozenset[str]:
+        used = self.expr.reads()
+        if isinstance(self.target, ArrayRef):
+            # The index of a store is read; the stored-to array is also a
+            # *use* in the may-alias sense (partial update keeps old values).
+            used = used | self.target.index.reads() | frozenset({self.target.array})
+        return used
+
+    def scalar_uses(self) -> frozenset[str]:
+        used = self.expr.scalar_reads()
+        if isinstance(self.target, ArrayRef):
+            used = used | self.target.index.scalar_reads()
+        return used
+
+    def defs(self) -> frozenset[str]:
+        if isinstance(self.target, ArrayRef):
+            return frozenset({self.target.array})
+        return frozenset({self.target.name})
+
+    def is_scalar_def(self) -> bool:
+        """True when the target is a plain scalar variable (a *kill*)."""
+        return isinstance(self.target, Var)
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    """``target = fn(args...)`` calling another IR function.
+
+    Used by the inlining pass; the executor also supports it directly.
+    ``target`` may be ``None`` for a void call.  Array arguments are passed
+    by reference (the callee may mutate them), hence they appear in both
+    ``uses()`` and ``defs()``.
+    """
+
+    fn: str
+    args: tuple[Expr, ...] = field(default_factory=tuple)
+    target: Var | None = None
+    #: names of array arguments the callee may write (by position lookup the
+    #: compiler fills this in during program linking; conservatively all
+    #: array args when empty).
+    writes_arrays: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    def _array_args(self) -> frozenset[str]:
+        out = set()
+        for a in self.args:
+            if isinstance(a, Var):
+                out.add(a.name)
+            out |= a.array_reads()
+        return frozenset(out)
+
+    def uses(self) -> frozenset[str]:
+        used: set[str] = set()
+        for a in self.args:
+            used |= a.reads()
+        return frozenset(used)
+
+    def scalar_uses(self) -> frozenset[str]:
+        used: set[str] = set()
+        for a in self.args:
+            used |= a.scalar_reads()
+        return frozenset(used)
+
+    def defs(self) -> frozenset[str]:
+        out = set(self.writes_arrays) if self.writes_arrays else set(self._array_args())
+        if self.target is not None:
+            out.add(self.target.name)
+        return frozenset(out)
+
+    def __str__(self) -> str:
+        call = f"{self.fn}({', '.join(map(str, self.args))})"
+        return f"{self.target} = {call}" if self.target else call
+
+
+@dataclass(frozen=True)
+class Terminator:
+    """Base class of block terminators."""
+
+    def uses(self) -> frozenset[str]:
+        return frozenset()
+
+    def scalar_uses(self) -> frozenset[str]:
+        return frozenset()
+
+    def targets(self) -> tuple[str, ...]:
+        """Labels of possible successor blocks."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Jump(Terminator):
+    """Unconditional jump to *target*."""
+
+    target: str
+
+    def targets(self) -> tuple[str, ...]:
+        return (self.target,)
+
+    def __str__(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass(frozen=True)
+class CondBranch(Terminator):
+    """Two-way branch on *cond* — the IR's only control statement form."""
+
+    cond: Expr
+    then: str
+    orelse: str
+
+    def uses(self) -> frozenset[str]:
+        return self.cond.reads()
+
+    def scalar_uses(self) -> frozenset[str]:
+        return self.cond.scalar_reads()
+
+    def targets(self) -> tuple[str, ...]:
+        return (self.then, self.orelse)
+
+    def __str__(self) -> str:
+        return f"if {self.cond} then {self.then} else {self.orelse}"
+
+
+@dataclass(frozen=True)
+class Return(Terminator):
+    """Return from the function, optionally with a value."""
+
+    value: Expr | None = None
+
+    def uses(self) -> frozenset[str]:
+        return self.value.reads() if self.value is not None else frozenset()
+
+    def scalar_uses(self) -> frozenset[str]:
+        return self.value.scalar_reads() if self.value is not None else frozenset()
+
+    def __str__(self) -> str:
+        return f"return {self.value}" if self.value is not None else "return"

@@ -1,0 +1,194 @@
+"""Block code generation: IR basic blocks -> native Python functions.
+
+The executor's default path dispatches one closure per expression node; for
+the hot loops of the tuning experiments that dominates wall-clock time.
+This module instead emits one Python function per basic block (flattened
+three-address style) and ``exec``-compiles it, cutting dispatch overhead by
+roughly an order of magnitude while preserving the exact semantics of the
+closure interpreter:
+
+* array element accesses append ``(name, index)`` to the memory trace in
+  evaluation order (the cache simulator consumes it);
+* ``&&`` / ``||`` short-circuit (guarding patterns like
+  ``i < n && a[i] > 0`` must not touch ``a[i]`` when the guard fails);
+* float-typed subscripts are truncated with ``int()``;
+* the generated function returns ``(next_label, taken)`` exactly like the
+  interpreted terminator.
+
+Blocks containing calls keep the interpreter path (see executor).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..ir.block import BasicBlock
+from ..ir.expr import ArrayRef, BinOp, Call, Const, Expr, UnOp, Var
+from ..ir.stmt import Assign, CondBranch, Jump, Return
+from ..ir.types import Type
+from .cost import infer_type
+
+__all__ = ["compile_block_fn", "RETURN_LABEL"]
+
+RETURN_LABEL = "<return>"
+
+_SIMPLE_BINOPS = {
+    "+": "+", "-": "-", "*": "*", "/": "/", "//": "//", "%": "%",
+    "<": "<", "<=": "<=", ">": ">", ">=": ">=", "==": "==", "!=": "!=",
+    "<<": "<<", ">>": ">>", "&": "&", "|": "|", "^": "^",
+}
+
+_INTRINSIC_IMPLS: dict[str, Callable] = {
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "log": np.log,
+    "sin": np.sin,
+    "cos": np.cos,
+    "floor": np.floor,
+}
+
+
+class _Emitter:
+    def __init__(self, types: dict[str, Type]) -> None:
+        self.types = types
+        self.lines: list[str] = []
+        self.indent = 1
+        self.n_tmp = 0
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def fresh(self) -> str:
+        self.n_tmp += 1
+        return f"_t{self.n_tmp}"
+
+    # ------------------------------------------------------------------ #
+
+    def expr(self, e: Expr) -> str:
+        """Return a Python expression string; may emit preparatory lines."""
+        if isinstance(e, Const):
+            return repr(e.value)
+        if isinstance(e, Var):
+            return f"env[{e.name!r}]"
+        if isinstance(e, ArrayRef):
+            idx = self.expr(e.index)
+            tmp = self.fresh()
+            if infer_type(e.index, self.types) is Type.FLOAT:
+                self.emit(f"{tmp} = int({idx})")
+            else:
+                self.emit(f"{tmp} = {idx}")
+            self.emit(f"_ma(({e.array!r}, {tmp}))")
+            return f"env[{e.array!r}][{tmp}]"
+        if isinstance(e, UnOp):
+            sub = self.expr(e.operand)
+            if e.op == "-":
+                return f"(-({sub}))"
+            if e.op == "!":
+                return f"(not ({sub}))"
+            if e.op == "abs":
+                return f"abs({sub})"
+            if e.op == "~":
+                return f"(~({sub}))"
+            raise ValueError(f"unknown unary op {e.op}")  # pragma: no cover
+        if isinstance(e, BinOp):
+            if e.op in ("&&", "||"):
+                # short-circuit: evaluate rhs only when needed
+                left = self.expr(e.left)
+                tmp = self.fresh()
+                self.emit(f"{tmp} = bool({left})")
+                self.emit(f"if {tmp}:" if e.op == "&&" else f"if not {tmp}:")
+                self.indent += 1
+                right = self.expr(e.right)
+                self.emit(f"{tmp} = bool({right})")
+                self.indent -= 1
+                return tmp
+            if e.op in ("min", "max"):
+                left = self.expr(e.left)
+                right = self.expr(e.right)
+                lt, rt = self.fresh(), self.fresh()
+                self.emit(f"{lt} = {left}")
+                self.emit(f"{rt} = {right}")
+                cmp_op = "<" if e.op == "min" else ">"
+                return f"({lt} if {lt} {cmp_op} {rt} else {rt})"
+            op = _SIMPLE_BINOPS[e.op]
+            left = self.expr(e.left)
+            right = self.expr(e.right)
+            return f"(({left}) {op} ({right}))"
+        if isinstance(e, Call):
+            args = ", ".join(self.expr(a) for a in e.args)
+            if e.fn == "int":
+                return f"int({args})"
+            if e.fn == "float":
+                return f"float({args})"
+            return f"float(_intr_{e.fn}({args}))"
+        raise ValueError(f"cannot generate code for {e!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+
+    def stmt(self, s: Assign) -> None:
+        if isinstance(s.target, ArrayRef):
+            idx = self.expr(s.target.index)
+            tmp = self.fresh()
+            if infer_type(s.target.index, self.types) is Type.FLOAT:
+                self.emit(f"{tmp} = int({idx})")
+            else:
+                self.emit(f"{tmp} = {idx}")
+            self.emit(f"_ma(({s.target.array!r}, {tmp}))")
+            value = self.expr(s.expr)
+            self.emit(f"env[{s.target.array!r}][{tmp}] = {value}")
+        else:
+            value = self.expr(s.expr)
+            self.emit(f"env[{s.target.name!r}] = {value}")
+
+    def terminator(self, term) -> None:
+        if isinstance(term, Jump):
+            self.emit(f"return ({term.target!r}, None)")
+        elif isinstance(term, CondBranch):
+            cond = self.expr(term.cond)
+            tmp = self.fresh()
+            self.emit(f"{tmp} = bool({cond})")
+            self.emit(
+                f"return (({term.then!r} if {tmp} else {term.orelse!r}), {tmp})"
+            )
+        elif isinstance(term, Return):
+            if term.value is not None:
+                value = self.expr(term.value)
+                self.emit(f"env['<ret>'] = {value}")
+            self.emit(f"return ({RETURN_LABEL!r}, None)")
+        else:  # pragma: no cover
+            raise ValueError(f"cannot generate terminator {term!r}")
+
+
+def compile_block_fn(
+    blk: BasicBlock, types: dict[str, Type]
+) -> Callable[[dict, list], tuple[str, bool | None]]:
+    """Compile one (call-free) basic block to ``f(env, mem) -> (next, taken)``."""
+    em = _Emitter(types)
+    for s in blk.stmts:
+        if not isinstance(s, Assign):  # pragma: no cover - caller filters
+            raise ValueError("codegen only handles call-free blocks")
+        em.stmt(s)
+    em.terminator(blk.terminator)
+
+    fn_name = "_block"
+    src = f"def {fn_name}(env, mem, _ma=None):\n"
+    src += "    _ma = mem.append\n"
+    src += "\n".join(em.lines) + "\n"
+
+    namespace: dict = {
+        "__builtins__": {
+            "bool": bool,
+            "int": int,
+            "float": float,
+            "abs": abs,
+        },
+    }
+    for name, impl in _INTRINSIC_IMPLS.items():
+        namespace[f"_intr_{name}"] = impl
+    code = compile(src, f"<block {blk.label}>", "exec")
+    exec(code, namespace)
+    fn = namespace[fn_name]
+    fn.__source__ = src  # for debugging
+    return fn

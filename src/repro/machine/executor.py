@@ -1,0 +1,531 @@
+"""The timing executor: interprets IR with cycle accounting.
+
+The executor plays the role of the paper's hardware platform.  It
+
+* *computes real values* — branches, trip counts, array contents and
+  pointer aliases all behave exactly as written, so the compiler analyses
+  and RBR's save/restore machinery are exercised honestly; and
+* *accounts simulated cycles* — per-block static compute costs (computed at
+  compile time from the machine's cost table and scaled by the optimizing
+  compiler's effect model), plus dynamic terms: cache hits/misses from the
+  set-associative cache simulator, branch mispredictions from a 1-bit
+  last-direction predictor, and register-spill traffic.
+
+Expressions are compiled to Python closures once per version ("code
+generation"); the hot interpreter loop then only dispatches closures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..ir.expr import ArrayRef, BinOp, Call, Const, Expr, UnOp, Var
+from ..ir.function import Function
+from ..ir.stmt import Assign, CallStmt, CondBranch, Jump, Return
+from ..ir.types import Type
+from .cache import AddressMap, CacheSim
+from .config import MachineConfig
+from .cost import block_static_costs, infer_type
+
+__all__ = [
+    "CostFactors",
+    "CompiledBlock",
+    "ExecutableFunction",
+    "InvocationResult",
+    "Executor",
+    "compile_function",
+    "ExecutionError",
+]
+
+
+class ExecutionError(Exception):
+    """Raised when IR execution fails (bad index, division by zero, ...)."""
+
+
+# --------------------------------------------------------------------------- #
+# expression compilation
+
+
+_BIN_FUNS: dict[str, Callable] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "min": lambda a, b: a if a < b else b,
+    "max": lambda a, b: a if a > b else b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+}
+
+_INTRINSICS: dict[str, Callable] = {
+    "sqrt": lambda a: float(np.sqrt(a)),
+    "exp": lambda a: float(np.exp(a)),
+    "log": lambda a: float(np.log(a)),
+    "sin": lambda a: float(np.sin(a)),
+    "cos": lambda a: float(np.cos(a)),
+    "floor": lambda a: float(np.floor(a)),
+    "int": lambda a: int(a),
+    "float": lambda a: float(a),
+}
+
+
+def compile_expr(expr: Expr, types: dict[str, Type]) -> Callable:
+    """Compile *expr* to a closure ``f(env, mem) -> value``.
+
+    ``mem`` is a list collecting ``(array_name, index)`` tuples for every
+    array element touched, which the executor converts to addresses and runs
+    through the cache simulator.
+    """
+    if isinstance(expr, Const):
+        v = expr.value
+        return lambda env, mem, v=v: v
+    if isinstance(expr, Var):
+        name = expr.name
+        return lambda env, mem, name=name: env[name]
+    if isinstance(expr, ArrayRef):
+        idx_fn = compile_expr(expr.index, types)
+        name = expr.array
+        if infer_type(expr.index, types) is Type.FLOAT:
+            def read_f(env, mem, name=name, idx_fn=idx_fn):
+                i = int(idx_fn(env, mem))
+                mem.append((name, i))
+                return env[name][i]
+            return read_f
+
+        def read(env, mem, name=name, idx_fn=idx_fn):
+            i = idx_fn(env, mem)
+            mem.append((name, i))
+            return env[name][i]
+        return read
+    if isinstance(expr, UnOp):
+        sub = compile_expr(expr.operand, types)
+        if expr.op == "-":
+            return lambda env, mem, sub=sub: -sub(env, mem)
+        if expr.op == "!":
+            return lambda env, mem, sub=sub: not sub(env, mem)
+        if expr.op == "abs":
+            return lambda env, mem, sub=sub: abs(sub(env, mem))
+        if expr.op == "~":
+            return lambda env, mem, sub=sub: ~sub(env, mem)
+        raise ExecutionError(f"unknown unary op {expr.op}")  # pragma: no cover
+    if isinstance(expr, BinOp):
+        left = compile_expr(expr.left, types)
+        right = compile_expr(expr.right, types)
+        if expr.op == "&&":
+            return lambda env, mem, l=left, r=right: bool(l(env, mem)) and bool(
+                r(env, mem)
+            )
+        if expr.op == "||":
+            return lambda env, mem, l=left, r=right: bool(l(env, mem)) or bool(
+                r(env, mem)
+            )
+        op = _BIN_FUNS[expr.op]
+        return lambda env, mem, l=left, r=right, op=op: op(l(env, mem), r(env, mem))
+    if isinstance(expr, Call):
+        fns = [compile_expr(a, types) for a in expr.args]
+        intr = _INTRINSICS[expr.fn]
+        if len(fns) == 1:
+            f0 = fns[0]
+            return lambda env, mem, f0=f0, intr=intr: intr(f0(env, mem))
+        return lambda env, mem, fns=fns, intr=intr: intr(
+            *(f(env, mem) for f in fns)
+        )
+    raise ExecutionError(f"cannot compile {expr!r}")  # pragma: no cover
+
+
+# --------------------------------------------------------------------------- #
+# statement and block compilation
+
+
+class _CallStep:
+    """A call site; executed by the executor (needs callee dispatch)."""
+
+    __slots__ = ("fn", "arg_fns", "arg_exprs", "target")
+
+    def __init__(self, stmt: CallStmt, types: dict[str, Type]) -> None:
+        self.fn = stmt.fn
+        self.arg_fns = [compile_expr(a, types) for a in stmt.args]
+        self.arg_exprs = stmt.args
+        self.target = stmt.target.name if stmt.target is not None else None
+
+
+def _compile_stmt(stmt, types: dict[str, Type]):
+    if isinstance(stmt, Assign):
+        value_fn = compile_expr(stmt.expr, types)
+        if isinstance(stmt.target, ArrayRef):
+            idx_fn = compile_expr(stmt.target.index, types)
+            name = stmt.target.array
+            if infer_type(stmt.target.index, types) is Type.FLOAT:
+                def store_f(env, mem, name=name, idx_fn=idx_fn, value_fn=value_fn):
+                    i = int(idx_fn(env, mem))
+                    mem.append((name, i))
+                    env[name][i] = value_fn(env, mem)
+                return store_f
+
+            def store(env, mem, name=name, idx_fn=idx_fn, value_fn=value_fn):
+                i = idx_fn(env, mem)
+                mem.append((name, i))
+                env[name][i] = value_fn(env, mem)
+            return store
+        name = stmt.target.name
+
+        def assign(env, mem, name=name, value_fn=value_fn):
+            env[name] = value_fn(env, mem)
+        return assign
+    if isinstance(stmt, CallStmt):
+        return _CallStep(stmt, types)
+    raise ExecutionError(f"cannot compile statement {stmt!r}")  # pragma: no cover
+
+
+_RETURN = "<return>"
+
+
+@dataclass
+class CompiledBlock:
+    """One basic block compiled to closures plus its static cost."""
+
+    label: str
+    steps: list
+    has_calls: bool
+    #: terminator closure: returns (next_label, taken_flag_or_None)
+    term: Callable
+    compute_cycles: float
+    spill_cycles: float = 0.0
+    is_branch: bool = False
+    #: generated whole-block function (call-free blocks only):
+    #: ``fastrun(env, mem) -> (next_label, taken)``
+    fastrun: Callable | None = None
+
+
+@dataclass
+class ExecutableFunction:
+    """A compiled function ready for execution and timing."""
+
+    name: str
+    entry: str
+    blocks: dict[str, CompiledBlock]
+    source: Function
+    param_names: tuple[str, ...]
+    local_defaults: dict[str, object]
+    #: resolved callees for CallStmt dispatch
+    callees: dict[str, "ExecutableFunction"] = field(default_factory=dict)
+
+
+def _compile_terminator(term, types):
+    if isinstance(term, Jump):
+        target = term.target
+        return (lambda env, mem, target=target: (target, None)), False
+    if isinstance(term, CondBranch):
+        cond = compile_expr(term.cond, types)
+        then, orelse = term.then, term.orelse
+
+        def branch(env, mem, cond=cond, then=then, orelse=orelse):
+            taken = bool(cond(env, mem))
+            return (then if taken else orelse, taken)
+        return branch, True
+    if isinstance(term, Return):
+        if term.value is None:
+            return (lambda env, mem: (_RETURN, None)), False
+        value = compile_expr(term.value, types)
+
+        def ret(env, mem, value=value):
+            env["<ret>"] = value(env, mem)
+            return (_RETURN, None)
+        return ret, False
+    raise ExecutionError(f"cannot compile terminator {term!r}")  # pragma: no cover
+
+
+def compile_function(
+    fn: Function,
+    machine: MachineConfig,
+    *,
+    block_compute_cycles: dict[str, float] | None = None,
+    block_spill_cycles: dict[str, float] | None = None,
+    callees: dict[str, "ExecutableFunction"] | None = None,
+) -> ExecutableFunction:
+    """Compile *fn* for *machine*.
+
+    *block_compute_cycles* / *block_spill_cycles* override the default static
+    costs — this is the hook through which the optimizing compiler's effect
+    model prices each version's blocks.
+    """
+    from .codegen import compile_block_fn
+
+    types = fn.all_vars()
+    default_costs = block_static_costs(fn, machine.cost)
+    blocks: dict[str, CompiledBlock] = {}
+    for label, blk in fn.cfg.blocks.items():
+        steps = [_compile_stmt(s, types) for s in blk.stmts]
+        term, is_branch = _compile_terminator(blk.terminator, types)
+        has_calls = any(isinstance(s, _CallStep) for s in steps)
+        fastrun = None if has_calls else compile_block_fn(blk, types)
+        compute = (
+            block_compute_cycles[label]
+            if block_compute_cycles is not None and label in block_compute_cycles
+            else default_costs[label].compute_cycles
+        )
+        spill = (
+            block_spill_cycles.get(label, 0.0) if block_spill_cycles else 0.0
+        )
+        blocks[label] = CompiledBlock(
+            label=label,
+            steps=steps,
+            has_calls=has_calls,
+            term=term,
+            compute_cycles=compute,
+            spill_cycles=spill,
+            is_branch=is_branch,
+            fastrun=fastrun,
+        )
+    local_defaults = {
+        name: (0.0 if t is Type.FLOAT else 0) for name, t in fn.locals.items()
+    }
+    return ExecutableFunction(
+        name=fn.name,
+        entry=fn.cfg.entry,
+        blocks=blocks,
+        source=fn,
+        param_names=tuple(p.name for p in fn.params),
+        local_defaults=local_defaults,
+        callees=dict(callees or {}),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# execution
+
+
+@dataclass(frozen=True)
+class CostFactors:
+    """Version-level dynamic cost multipliers set by the flag effect model."""
+
+    mem: float = 1.0
+    branch: float = 1.0
+
+    IDENTITY: "CostFactors" = None  # type: ignore[assignment]
+
+
+CostFactors.IDENTITY = CostFactors()
+
+
+@dataclass
+class InvocationResult:
+    """Outcome of one TS invocation."""
+
+    cycles: float
+    return_value: object = None
+    block_counts: dict[str, int] | None = None
+    mem_cycles: float = 0.0
+    branch_miss_cycles: float = 0.0
+
+
+class Executor:
+    """Executes compiled functions on a simulated machine.
+
+    The executor owns the *persistent* machine state: the cache contents and
+    the branch-predictor table survive across invocations, exactly like the
+    real machines whose warm-up behaviour motivates the improved RBR method.
+    """
+
+    MAX_STEPS = 50_000_000
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self.cache = CacheSim(
+            machine.cache_size,
+            machine.cache_line,
+            machine.cache_assoc,
+            machine.cache_hit_cycles,
+            machine.cache_miss_cycles,
+        )
+        #: 1-bit branch predictor: (fn_name, label) -> last direction
+        self.branch_state: dict[tuple[str, str], bool] = {}
+        self._amap_cache: dict[tuple, AddressMap] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> None:
+        """Cold machine: flush cache and predictor state."""
+        self.cache.flush()
+        self.branch_state.clear()
+        self._amap_cache.clear()
+
+    def _address_map(self, env: dict[str, object]) -> AddressMap:
+        key = tuple(
+            (name, id(value), len(value))
+            for name, value in sorted(env.items())
+            if hasattr(value, "__len__")
+        )
+        amap = self._amap_cache.get(key)
+        if amap is None:
+            amap = AddressMap.for_env(env, line=self.machine.cache_line)
+            self._amap_cache[key] = amap
+        return amap
+
+    def run(
+        self,
+        exe: ExecutableFunction,
+        env: dict[str, object],
+        *,
+        factors: CostFactors = CostFactors.IDENTITY,
+        count_blocks: bool = False,
+    ) -> InvocationResult:
+        """Execute one invocation of *exe* with the given environment.
+
+        *env* must bind every parameter; arrays are mutated in place (the
+        caller owns save/restore if it needs the input back).  Locals are
+        initialised to zero.  Returns true (noise-free) cycles; measurement
+        noise is applied by the timing instrumentation layer on top.
+        """
+        for p in exe.param_names:
+            if p not in env:
+                raise ExecutionError(f"{exe.name}: missing argument {p!r}")
+        local_env = dict(env)
+        local_env.update(exe.local_defaults)
+
+        amap = self._address_map(env)
+        counts: dict[str, int] | None = (
+            dict.fromkeys(exe.blocks, 0) if count_blocks else None
+        )
+        result = InvocationResult(0.0, block_counts=counts)
+        self._run_cfg(exe, local_env, amap, factors, counts, result, depth=0)
+        result.return_value = local_env.get("<ret>")
+        return result
+
+    def _run_cfg(
+        self,
+        exe: ExecutableFunction,
+        env: dict[str, object],
+        amap: AddressMap,
+        factors: CostFactors,
+        counts: dict[str, int] | None,
+        result: InvocationResult,
+        depth: int,
+    ) -> None:
+        if depth > 32:
+            raise ExecutionError("call depth limit exceeded (recursive IR?)")
+        blocks = exe.blocks
+        cache_access = self.cache.access
+        address = amap.address
+        elem = AddressMap.ELEM_SIZE
+        bases = amap.bases
+        branch_state = self.branch_state
+        miss_cost = self.machine.branch_miss_cycles * factors.branch
+        mem_factor = factors.mem
+        fn_name = exe.name
+
+        label = exe.entry
+        mem: list = []
+        steps_budget = self.MAX_STEPS
+        # Local accumulators (folded into *result* at the end); _do_call
+        # writes callee contributions into *result* directly.
+        cycles = 0.0
+        mem_cycles = 0.0
+        miss_cycles = 0.0
+
+        while label != _RETURN:
+            blk = blocks[label]
+            if counts is not None:
+                key = blk.label if depth == 0 else f"{fn_name}::{blk.label}"
+                counts[key] = counts.get(key, 0) + 1
+            cycles += blk.compute_cycles + blk.spill_cycles
+
+            try:
+                fast = blk.fastrun
+                if fast is not None:
+                    label_next, taken = fast(env, mem)
+                else:
+                    for step in blk.steps:
+                        if type(step) is _CallStep:
+                            self._do_call(step, exe, env, amap, factors, counts, result, depth)
+                        else:
+                            step(env, mem)
+                    label_next, taken = blk.term(env, mem)
+            except (KeyError, IndexError, ZeroDivisionError, OverflowError) as e:
+                raise ExecutionError(
+                    f"{exe.name}/{label}: runtime error {type(e).__name__}: {e}"
+                ) from e
+
+            if mem:
+                mc = 0.0
+                for name, i in mem:
+                    mc += cache_access(bases[name] + i * elem)
+                mc *= mem_factor
+                mem_cycles += mc
+                cycles += mc
+                mem.clear()
+
+            if blk.is_branch:
+                key = (fn_name, label)
+                predicted = branch_state.get(key)
+                if predicted is not None and predicted != taken:
+                    miss_cycles += miss_cost
+                    cycles += miss_cost
+                branch_state[key] = taken
+
+            steps_budget -= 1
+            if steps_budget <= 0:
+                raise ExecutionError(f"{exe.name}: step budget exhausted (infinite loop?)")
+            label = label_next
+
+        result.cycles += cycles
+        result.mem_cycles += mem_cycles
+        result.branch_miss_cycles += miss_cycles
+
+    def _do_call(
+        self,
+        step: _CallStep,
+        caller: ExecutableFunction,
+        env: dict[str, object],
+        amap: AddressMap,
+        factors: CostFactors,
+        counts: dict[str, int] | None,
+        result: InvocationResult,
+        depth: int,
+    ) -> None:
+        callee = caller.callees.get(step.fn)
+        if callee is None:
+            raise ExecutionError(f"{caller.name}: unresolved call to {step.fn!r}")
+        mem: list = []
+        args = [f(env, mem) for f in step.arg_fns]
+        if mem:
+            mc = sum(
+                self.cache.access(amap.bases[n] + i * AddressMap.ELEM_SIZE)
+                for n, i in mem
+            ) * factors.mem
+            result.cycles += mc
+            result.mem_cycles += mc
+        callee_env = dict(zip(callee.param_names, args))
+        callee_env.update(callee.local_defaults)
+        # Aliased arrays: share the caller's address map by identity (works
+        # because AddressMap.for_env dedups on id); indices computed relative
+        # to the callee's names need the callee bases, so extend the map.
+        for pname, value in zip(callee.param_names, args):
+            if hasattr(value, "__len__") and pname not in amap.bases:
+                for cname, cval in env.items():
+                    if cval is value and cname in amap.bases:
+                        amap.bases[pname] = amap.bases[cname]
+                        break
+                else:
+                    amap.bases[pname] = 0x8000000 + id(value) % 0x100000
+        sub = InvocationResult(0.0)
+        self._run_cfg(callee, callee_env, amap, factors, counts, sub, depth + 1)
+        result.cycles += sub.cycles
+        result.mem_cycles += sub.mem_cycles
+        result.branch_miss_cycles += sub.branch_miss_cycles
+        if step.target is not None:
+            env[step.target] = callee_env.get("<ret>")

@@ -1,0 +1,33 @@
+"""The PEAK/ADAPT runtime substrate: version dispatch, timing
+instrumentation, input save/restore, and the tuning-time ledger."""
+
+from .counters import (
+    COUNTER_ARRAY,
+    fresh_counter_buffer,
+    instrument_counters,
+    read_counters,
+)
+from .dispatch import VersionTable
+from .instrument import (
+    COUNTER_COST_CYCLES,
+    TIMER_COST_CYCLES,
+    TimedExecutor,
+    TimedSample,
+)
+from .ledger import TuningLedger
+from .save_restore import SaveRestorePlan, Snapshot
+
+__all__ = [
+    "COUNTER_ARRAY",
+    "COUNTER_COST_CYCLES",
+    "SaveRestorePlan",
+    "Snapshot",
+    "TIMER_COST_CYCLES",
+    "TimedExecutor",
+    "TimedSample",
+    "TuningLedger",
+    "VersionTable",
+    "fresh_counter_buffer",
+    "instrument_counters",
+    "read_counters",
+]

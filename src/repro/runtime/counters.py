@@ -1,0 +1,59 @@
+"""MBR counter instrumentation (paper Section 2.3).
+
+The PEAK instrumentation tool inserts block-entry counters into the tuning
+section *source*, which is then compiled under every optimization option —
+the counters travel through the optimizer like ordinary program statements
+and their (small) cost is part of what gets measured.
+
+We reproduce that design at the IR level: counters live in a dedicated
+``__counters`` int array parameter, each surviving counter being an element
+increment prepended to its block.  Array stores are never dead-code
+eliminated, hoisted, or if-converted by our passes, so the counts stay exact
+through every flag combination (including unrolling, which duplicates the
+increment together with the block it counts).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ir.expr import ArrayRef, Const
+from ..ir.function import Function, Param
+from ..ir.stmt import Assign
+from ..ir.types import Type
+
+__all__ = ["COUNTER_ARRAY", "instrument_counters", "fresh_counter_buffer", "read_counters"]
+
+COUNTER_ARRAY = "__counters"
+
+
+def instrument_counters(fn: Function, blocks: Sequence[str]) -> Function:
+    """Return a copy of *fn* with an entry counter in each listed block.
+
+    Counter ``i`` counts entries of ``blocks[i]``.  The instrumented function
+    gains a trailing ``__counters`` INT_ARRAY parameter; callers must bind it
+    to a zeroed buffer of ``len(blocks)`` elements per invocation.
+    """
+    if COUNTER_ARRAY in fn.all_vars():
+        raise ValueError(f"{fn.name} already instrumented")
+    out = fn.copy()
+    out.params = list(out.params) + [Param(COUNTER_ARRAY, Type.INT_ARRAY)]
+    for i, label in enumerate(blocks):
+        if label not in out.cfg.blocks:
+            raise KeyError(f"no block {label!r} in {fn.name}")
+        ref = ArrayRef(COUNTER_ARRAY, Const(i))
+        incr = Assign(ref, ref + 1)
+        out.cfg.blocks[label].stmts.insert(0, incr)
+    return out
+
+
+def fresh_counter_buffer(n: int) -> np.ndarray:
+    """A zeroed counter buffer for one invocation."""
+    return np.zeros(n, dtype=np.int64)
+
+
+def read_counters(env: dict) -> np.ndarray:
+    """Read the counter values after an invocation."""
+    return np.asarray(env[COUNTER_ARRAY], dtype=float)

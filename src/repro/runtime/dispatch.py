@@ -1,0 +1,44 @@
+"""Dynamic version dispatch (the ADAPT mechanism of the paper's Fig. 6).
+
+Each tuning section keeps a *best* and an *experimental* version which the
+tuning driver swaps in and out; production runs use the best version only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compiler.version import Version
+
+__all__ = ["VersionTable"]
+
+
+@dataclass
+class VersionTable:
+    """Best/experimental version slots for one tuning section."""
+
+    ts_name: str
+    best: Version
+    experimental: Version | None = None
+    #: history of versions that have held the best slot (diagnostics)
+    promotions: list[str] = field(default_factory=list)
+
+    def install_experimental(self, version: Version) -> None:
+        if version.ts_name != self.ts_name:
+            raise ValueError(
+                f"version for {version.ts_name!r} installed into table "
+                f"for {self.ts_name!r}"
+            )
+        self.experimental = version
+
+    def promote(self) -> Version:
+        """The experimental version becomes the best one."""
+        if self.experimental is None:
+            raise RuntimeError("no experimental version to promote")
+        self.best = self.experimental
+        self.experimental = None
+        self.promotions.append(self.best.label)
+        return self.best
+
+    def discard_experimental(self) -> None:
+        self.experimental = None

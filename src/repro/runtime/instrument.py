@@ -1,0 +1,103 @@
+"""Timing instrumentation.
+
+``TimedExecutor`` wraps the machine executor the way the PEAK-inserted
+timer instrumentation wraps a tuning section: it runs one invocation,
+applies the measurement-noise model to the true cycle count, optionally adds
+counter overhead (MBR's surviving block counters cost a couple of cycles per
+increment), and charges the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compiler.version import Version
+from ..machine.config import MachineConfig
+from ..machine.executor import Executor, InvocationResult
+from ..machine.perturb import NoiseModel
+from .ledger import TuningLedger
+
+__all__ = ["TimedExecutor", "TimedSample", "COUNTER_COST_CYCLES", "TIMER_COST_CYCLES"]
+
+#: cycles one surviving MBR counter increment costs
+COUNTER_COST_CYCLES = 2.0
+#: fixed timer read/record overhead per timed invocation
+TIMER_COST_CYCLES = 40.0
+
+
+@dataclass
+class TimedSample:
+    """One timed invocation of one version."""
+
+    measured_cycles: float
+    true_cycles: float
+    block_counts: dict[str, int] | None
+    return_value: object
+
+
+class TimedExecutor:
+    """Runs versions with timing, noise, counter overhead, and ledgering."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        *,
+        seed: int = 0,
+        noise: NoiseModel | None = None,
+        ledger: TuningLedger | None = None,
+    ) -> None:
+        self.machine = machine
+        self.executor = Executor(machine)
+        self.noise = noise if noise is not None else NoiseModel.for_machine(machine)
+        self.rng = np.random.default_rng(seed)
+        self.ledger = ledger if ledger is not None else TuningLedger()
+
+    def invoke(
+        self,
+        version: Version,
+        env: dict[str, object],
+        *,
+        counter_blocks: tuple[str, ...] = (),
+        count_blocks: bool = False,
+        timed: bool = True,
+    ) -> TimedSample:
+        """Execute one invocation of *version* and measure it.
+
+        *counter_blocks* — the MBR counters left after pruning; their
+        increments are charged as instrumentation overhead and included in
+        the measured (but not the true) time, mirroring the paper's remark
+        that the counters slightly perturb measurements.
+        """
+        want_counts = count_blocks or bool(counter_blocks)
+        res: InvocationResult = self.executor.run(
+            version.exe,
+            env,
+            factors=version.factors,
+            count_blocks=want_counts,
+        )
+        counter_overhead = 0.0
+        if counter_blocks and res.block_counts is not None:
+            increments = sum(res.block_counts.get(b, 0) for b in counter_blocks)
+            counter_overhead = increments * COUNTER_COST_CYCLES
+            self.ledger.charge("instrumentation", counter_overhead)
+        self.ledger.charge_invocation(res.cycles)
+        if timed:
+            self.ledger.charge("instrumentation", TIMER_COST_CYCLES)
+            measured = self.noise.sample(
+                res.cycles + counter_overhead + TIMER_COST_CYCLES, self.rng
+            )
+        else:
+            measured = res.cycles
+        return TimedSample(
+            measured_cycles=measured,
+            true_cycles=res.cycles,
+            block_counts=res.block_counts if want_counts else None,
+            return_value=res.return_value,
+        )
+
+    def run_untimed(self, version: Version, env: dict[str, object]) -> InvocationResult:
+        """Run without measurement (e.g. RBR's precondition execution)."""
+        res = self.executor.run(version.exe, env, factors=version.factors)
+        return res

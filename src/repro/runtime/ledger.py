@@ -1,0 +1,67 @@
+"""The tuning-time ledger.
+
+Fig. 7(c)/(d) of the paper report *normalized tuning time*: how long the
+whole tuning process takes under each rating method, relative to the WHL
+(whole-program execution) approach.  Every simulated cycle spent during
+tuning is charged here, itemised by purpose, so those numbers are measured
+rather than estimated:
+
+* ``ts``            — executing tuning-section invocations being rated
+* ``precondition``  — RBR cache-warming runs
+* ``save_restore``  — RBR input snapshot/restore traffic
+* ``instrumentation`` — MBR counters and timer overhead
+* ``non_ts``        — the rest of the application around the TS, charged
+  once per program run (workloads declare their non-TS cost)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TuningLedger"]
+
+
+@dataclass
+class TuningLedger:
+    """Accumulates the cost of a tuning process."""
+
+    by_category: dict[str, float] = field(default_factory=dict)
+    invocations: int = 0
+    program_runs: int = 0
+
+    def charge(self, category: str, cycles: float) -> None:
+        if cycles < 0:
+            raise ValueError("cannot charge negative cycles")
+        self.by_category[category] = self.by_category.get(category, 0.0) + cycles
+
+    def charge_invocation(self, cycles: float) -> None:
+        self.charge("ts", cycles)
+        self.invocations += 1
+
+    def start_program_run(self, non_ts_cycles: float) -> None:
+        """A new run of the (instrumented) application begins."""
+        self.program_runs += 1
+        self.charge("non_ts", non_ts_cycles)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.by_category.values())
+
+    def merged(self, other: "TuningLedger") -> "TuningLedger":
+        out = TuningLedger(
+            by_category=dict(self.by_category),
+            invocations=self.invocations + other.invocations,
+            program_runs=self.program_runs + other.program_runs,
+        )
+        for k, v in other.by_category.items():
+            out.by_category[k] = out.by_category.get(k, 0.0) + v
+        return out
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{k}={v:.3g}" for k, v in sorted(self.by_category.items())
+        )
+        return (
+            f"TuningLedger(total={self.total_cycles:.4g} cycles, "
+            f"{self.program_runs} runs, {self.invocations} invocations; {parts})"
+        )

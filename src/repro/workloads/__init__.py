@@ -1,0 +1,51 @@
+"""Synthetic SPEC CPU 2000 analog workloads (see DESIGN.md for the
+substitution rationale).  ``get_workload(name)`` builds a fresh instance;
+``WORKLOAD_NAMES`` lists all 14 benchmarks in Table 1 order."""
+
+from .base import Dataset, PaperRow, Workload
+from .spec import applu, apsi, art, bzip2, crafty, equake, gzip, mcf, mesa, mgrid, swim, twolf, vortex, wupwise
+
+_BUILDERS = {
+    # integer benchmarks (Table 1 upper half)
+    "bzip2": bzip2.build,
+    "crafty": crafty.build,
+    "gzip": gzip.build,
+    "mcf": mcf.build,
+    "twolf": twolf.build,
+    "vortex": vortex.build,
+    # floating-point benchmarks (Table 1 lower half)
+    "applu": applu.build,
+    "apsi": apsi.build,
+    "art": art.build,
+    "mgrid": mgrid.build,
+    "equake": equake.build,
+    "mesa": mesa.build,
+    "swim": swim.build,
+    "wupwise": wupwise.build,
+}
+
+WORKLOAD_NAMES = tuple(_BUILDERS)
+
+#: the four benchmarks tuned in the paper's Fig. 7
+TUNED_BENCHMARKS = ("swim", "mgrid", "art", "equake")
+
+
+def get_workload(name: str) -> Workload:
+    """Build the named workload (a fresh, independent instance)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+__all__ = [
+    "Dataset",
+    "PaperRow",
+    "TUNED_BENCHMARKS",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "get_workload",
+]

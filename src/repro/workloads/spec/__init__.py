@@ -1,0 +1,1 @@
+"""SPEC CPU 2000 analog workloads, one module per Table 1 benchmark."""

@@ -1,0 +1,77 @@
+"""APPLU / ``blts`` analog (Table 1: CBR, 250 invocations).
+
+``blts`` is the block lower-triangular solve of APPLU's SSOR sweep: a
+regular wavefront nest whose bounds all come from the (fixed) grid-size
+scalars.  One context; CBR applies directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, FunctionBuilder, Program, Type
+from ..base import Dataset, PaperRow, Workload
+
+OMEGA = 1.2
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "blts",
+        [
+            ("nx", Type.INT),
+            ("ny", Type.INT),
+            ("v", Type.FLOAT_ARRAY),
+            ("ldz", Type.FLOAT_ARRAY),
+        ],
+    )
+    om = b.local("om", Type.FLOAT)
+    b.assign("om", OMEGA)
+    with b.for_("j", 1, b.var("ny")) as j:
+        with b.for_("i", 1, b.var("nx")) as i:
+            idx = b.local("idx", Type.INT)
+            b.assign("idx", j * b.var("nx") + i)
+            b.store(
+                "v",
+                b.var("idx"),
+                ArrayRef("v", b.var("idx"))
+                - b.var("om")
+                * (
+                    ArrayRef("ldz", b.var("idx")) * ArrayRef("v", b.var("idx") - 1)
+                    + ArrayRef("ldz", b.var("idx") - 1)
+                    * ArrayRef("v", b.var("idx") - b.var("nx"))
+                ),
+            )
+    b.ret()
+    prog = Program("applu")
+    prog.add(b.build())
+    return prog
+
+
+def _generator(nx: int, ny: int):
+    size = nx * ny + nx + 2
+
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        return {
+            "nx": nx,
+            "ny": ny,
+            "v": rng.standard_normal(size),
+            "ldz": rng.standard_normal(size) * 0.1,
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="applu",
+        program=_build_ts(),
+        ts_name="blts",
+        datasets={
+            "train": Dataset("train", n_invocations=84, non_ts_cycles=250_000.0,
+                             generator=_generator(8, 8)),
+            "ref": Dataset("ref", n_invocations=250, non_ts_cycles=800_000.0,
+                           generator=_generator(12, 10)),
+        },
+        paper=PaperRow("APPLU", "blts", "CBR", "250", is_integer=False, n_contexts=1),
+    )

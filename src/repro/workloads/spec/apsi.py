@@ -1,0 +1,85 @@
+"""APSI / ``radb4`` analog (Table 1: CBR with 3 contexts).
+
+``radb4`` is the radix-4 inverse-FFT butterfly pass; each call handles one
+transform stage, so its scalar context ``(ido, l1)`` cycles through the
+three stage shapes of the run.  Table 1 lists one CBR row per context, with
+context 1 (the smallest workload) showing the largest relative deviation —
+a short region is proportionally noisier — and context 3 the smallest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, FunctionBuilder, Program, Type
+from ..base import Dataset, PaperRow, Workload
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "radb4",
+        [
+            ("ido", Type.INT),
+            ("l1", Type.INT),
+            ("cc", Type.FLOAT_ARRAY),
+            ("ch", Type.FLOAT_ARRAY),
+            ("wa", Type.FLOAT_ARRAY),
+        ],
+    )
+    with b.for_("k", 0, b.var("l1")) as k:
+        with b.for_("i", 0, b.var("ido")) as i:
+            idx = b.local("idx", Type.INT)
+            b.assign("idx", k * b.var("ido") + i)
+            t1 = b.local("t1", Type.FLOAT)
+            t2 = b.local("t2", Type.FLOAT)
+            b.assign("t1", ArrayRef("cc", b.var("idx")) + ArrayRef("cc", b.var("idx") + b.var("ido")))
+            b.assign("t2", ArrayRef("cc", b.var("idx")) - ArrayRef("cc", b.var("idx") + b.var("ido")))
+            b.store("ch", b.var("idx"), b.var("t1") + ArrayRef("wa", i) * b.var("t2"))
+            b.store(
+                "ch",
+                b.var("idx") + b.var("ido"),
+                b.var("t1") - ArrayRef("wa", i) * b.var("t2"),
+            )
+    b.ret()
+    prog = Program("apsi")
+    prog.add(b.build())
+    return prog
+
+
+#: the three FFT stage shapes = the three CBR contexts; context 1 is the
+#: smallest region (largest relative measurement noise)
+_STAGES = [(1, 6), (4, 10), (12, 16)]
+
+
+def _generator(scale: int):
+    sizes = [(ido * scale) * (l1 * scale) * 2 for ido, l1 in _STAGES]
+    buf = max(sizes) + 2
+
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        ido, l1 = _STAGES[i % len(_STAGES)]
+        ido *= scale
+        l1 *= scale
+        return {
+            "ido": ido,
+            "l1": l1,
+            "cc": rng.standard_normal(buf),
+            "ch": np.zeros(buf),
+            "wa": rng.standard_normal(max(ido, 1) + 1),
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="apsi",
+        program=_build_ts(),
+        ts_name="radb4",
+        datasets={
+            "train": Dataset("train", n_invocations=90, non_ts_cycles=200_000.0,
+                             generator=_generator(1)),
+            "ref": Dataset("ref", n_invocations=180, non_ts_cycles=650_000.0,
+                           generator=_generator(2)),
+        },
+        paper=PaperRow("APSI", "radb4", "CBR", "1.37M", is_integer=False, n_contexts=3),
+    )

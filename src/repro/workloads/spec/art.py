@@ -1,0 +1,102 @@
+"""ART / ``match`` analog (Table 1: RBR, 250 invocations) — the strict-
+aliasing showcase.
+
+``match`` scans the F1 layer for the winning neuron.  Its control flow
+depends on the data (winner tracking, vigilance/reset tests, bus
+comparisons), so CBR is inapplicable and the many independently varying
+conditional blocks defeat MBR — RBR is chosen, matching the paper.
+
+The loop body simultaneously works on five arrays with several live
+scalars: exactly the kind of kernel where ``-fstrict-aliasing`` lengthens
+live ranges until an 8-register machine (Pentium 4) spills on every
+iteration, while a 32-register SPARC II shrugs it off.  Turning the flag
+*off* on Pentium 4 removes the spill traffic — the mechanism behind the
+paper's 178 % improvement (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, FunctionBuilder, Program, Type
+from ..base import Dataset, PaperRow, Workload
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "match",
+        [
+            ("m", Type.INT),
+            ("f1", Type.FLOAT_ARRAY),
+            ("bus", Type.FLOAT_ARRAY),
+            ("tds", Type.FLOAT_ARRAY),
+            ("w", Type.FLOAT_ARRAY),
+            ("y", Type.FLOAT_ARRAY),
+        ],
+        return_type=Type.INT,
+    )
+    maxv = b.local("maxv", Type.FLOAT)
+    winner = b.local("winner", Type.INT)
+    s1 = b.local("s1", Type.FLOAT)
+    s2 = b.local("s2", Type.FLOAT)
+    hits = b.local("hits", Type.INT)
+    b.assign("maxv", -1.0e30)
+    b.assign("winner", -1)
+    b.assign("s1", 0.0)
+    b.assign("s2", 0.0)
+    b.assign("hits", 0)
+    with b.for_("j", 0, b.var("m")) as j:
+        t = b.local("t", Type.FLOAT)
+        b.assign(
+            "t",
+            ArrayRef("f1", j) * ArrayRef("w", j)
+            + ArrayRef("bus", j) * ArrayRef("tds", j),
+        )
+        b.store("y", j, b.var("t"))
+        with b.if_(b.var("t") > b.var("maxv")):       # winner tracking
+            b.assign("maxv", b.var("t"))
+            b.assign("winner", j)
+        with b.if_(ArrayRef("bus", j) > 0.6):          # bus saturation test
+            b.assign("s1", b.var("s1") + b.var("t"))
+        with b.if_(ArrayRef("f1", j) < 0.3):           # vigilance test
+            b.assign("s2", b.var("s2") + ArrayRef("bus", j))
+        with b.if_(ArrayRef("tds", j) * b.var("t") > 0.5):  # reset test
+            b.assign("hits", b.var("hits") + 1)
+        with b.if_(ArrayRef("w", j) < 0.1):            # weight decay test
+            b.assign("s1", b.var("s1") - 0.01)
+    b.ret(b.var("winner"))
+    prog = Program("art")
+    prog.add(b.build())
+    return prog
+
+
+def _generator(m: int):
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        # m varies a little run to run (scan width follows the image window)
+        mm = m + int(rng.integers(0, max(2, m // 8)))
+        size = m + max(2, m // 8) + 1
+        return {
+            "m": mm,
+            "f1": rng.random(size),
+            "bus": rng.random(size),
+            "tds": rng.random(size),
+            "w": rng.random(size),
+            "y": np.zeros(size),
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="art",
+        program=_build_ts(),
+        ts_name="match",
+        datasets={
+            "train": Dataset("train", n_invocations=600, non_ts_cycles=1_700_000.0,
+                             generator=_generator(24)),
+            "ref": Dataset("ref", n_invocations=1200, non_ts_cycles=4_500_000.0,
+                           generator=_generator(32)),
+        },
+        paper=PaperRow("ART", "match", "RBR", "250", is_integer=False),
+    )

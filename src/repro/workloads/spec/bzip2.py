@@ -1,0 +1,93 @@
+"""BZIP2 / ``fullGtU`` analog (Table 1: RBR, 24.2M invocations).
+
+``fullGtU`` compares two suffixes of the block during sorting: a cascade of
+early-exit comparisons over the block bytes and the quadrant values.  The
+exit position depends entirely on the data, so the Fig. 1 analysis rejects
+CBR, and the cascade's independently varying branch counts defeat MBR's
+component merging — RBR it is, like all the integer codes in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, FunctionBuilder, Program, Type, ne
+from ..base import Dataset, PaperRow, Workload
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "fullGtU",
+        [
+            ("i1", Type.INT),
+            ("i2", Type.INT),
+            ("limit", Type.INT),
+            ("block", Type.INT_ARRAY),
+            ("quadrant", Type.INT_ARRAY),
+        ],
+        return_type=Type.INT,
+    )
+    res = b.local("res", Type.INT)
+    k = b.local("k", Type.INT)
+    b.assign("res", 0)
+    b.assign("k", 0)
+    with b.while_(b.var("k") < b.var("limit")):
+        c1 = b.local("c1", Type.INT)
+        c2 = b.local("c2", Type.INT)
+        b.assign("c1", ArrayRef("block", b.var("i1") + b.var("k")))
+        b.assign("c2", ArrayRef("block", b.var("i2") + b.var("k")))
+        with b.if_(ne(b.var("c1"), b.var("c2"))):
+            with b.if_(b.var("c1") > b.var("c2")):
+                b.assign("res", 1)
+            with b.orelse():
+                b.assign("res", -1)
+            b.break_()
+        q1 = b.local("q1", Type.INT)
+        q2 = b.local("q2", Type.INT)
+        b.assign("q1", ArrayRef("quadrant", b.var("i1") + b.var("k")))
+        b.assign("q2", ArrayRef("quadrant", b.var("i2") + b.var("k")))
+        with b.if_(ne(b.var("q1"), b.var("q2"))):
+            with b.if_(b.var("q1") > b.var("q2")):
+                b.assign("res", 1)
+            with b.orelse():
+                b.assign("res", -1)
+            b.break_()
+        b.assign("k", b.var("k") + 1)
+    b.ret(b.var("res"))
+    prog = Program("bzip2")
+    prog.add(b.build())
+    return prog
+
+
+def _generator(block_size: int, limit: int, p_diff: float):
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        # post-BWT blocks are runny: two suffixes share long prefixes, and
+        # quadrant values (sort-depth info) differ even more rarely
+        block = (rng.random(block_size) < p_diff).astype(np.int64)
+        quadrant = (rng.random(block_size) < p_diff / 2).astype(np.int64)
+        half = block_size // 2 - limit - 1
+        return {
+            "i1": int(rng.integers(0, half)),
+            "i2": int(rng.integers(half, 2 * half)),
+            "limit": limit,
+            "block": block,
+            "quadrant": quadrant,
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="bzip2",
+        program=_build_ts(),
+        ts_name="fullGtU",
+        datasets={
+            # sparse differences -> long shared prefixes -> variable exits
+            "train": Dataset("train", n_invocations=160, non_ts_cycles=220_000.0,
+                             generator=_generator(256, 40, 0.12)),
+            "ref": Dataset("ref", n_invocations=480, non_ts_cycles=700_000.0,
+                           generator=_generator(512, 64, 0.08)),
+        },
+        paper=PaperRow("BZIP2", "fullGtU", "RBR", "24.2M", is_integer=True),
+    )

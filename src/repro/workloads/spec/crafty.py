@@ -1,0 +1,95 @@
+"""CRAFTY / ``Attacked`` analog (Table 1: RBR, 12.3M invocations).
+
+``Attacked`` decides whether a square is attacked: it walks each ray
+direction until a piece blocks it, then tests the blocker's type.  Every
+loop exit and branch depends on the board contents — classic irregular
+integer code, rated with RBR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, FunctionBuilder, Program, Type, and_, eq, ne
+from ..base import Dataset, PaperRow, Workload
+
+N_DIRS = 8
+BOARD = 64
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "attacked",
+        [
+            ("sq", Type.INT),
+            ("side", Type.INT),
+            ("board", Type.INT_ARRAY),
+            ("dirs", Type.INT_ARRAY),
+            ("ray_len", Type.INT_ARRAY),
+        ],
+        return_type=Type.INT,
+    )
+    hits = b.local("hits", Type.INT)
+    b.assign("hits", 0)
+    with b.for_("d", 0, N_DIRS) as d:
+        step = b.local("step", Type.INT)
+        pos = b.local("pos", Type.INT)
+        dist = b.local("dist", Type.INT)
+        b.assign("step", ArrayRef("dirs", d))
+        b.assign("pos", b.var("sq") + b.var("step"))
+        b.assign("dist", 0)
+        with b.while_(
+            and_(b.var("dist") < ArrayRef("ray_len", d), eq(ArrayRef("board", b.var("pos")), 0))
+        ):
+            b.assign("pos", b.var("pos") + b.var("step"))
+            b.assign("dist", b.var("dist") + 1)
+        with b.if_(b.var("dist") < ArrayRef("ray_len", d)):
+            piece = b.local("piece", Type.INT)
+            b.assign("piece", ArrayRef("board", b.var("pos")))
+            with b.if_(ne(b.var("piece"), 0)):
+                # does this piece attack along rays, and is it hostile?
+                with b.if_(eq(b.var("piece") % 2, b.var("side"))):
+                    with b.if_(b.var("piece") >= 4):  # sliding piece
+                        b.assign("hits", b.var("hits") + 1)
+                    with b.orelse():
+                        with b.if_(eq(b.var("dist"), 0)):  # adjacent attacker
+                            b.assign("hits", b.var("hits") + 1)
+    b.ret(b.var("hits"))
+    prog = Program("crafty")
+    prog.add(b.build())
+    return prog
+
+
+def _generator(density: float):
+    dirs = np.array([1, -1, 8, -8, 9, -9, 7, -7])
+
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        board = np.where(
+            rng.random(BOARD * 4) < density, rng.integers(1, 8, size=BOARD * 4), 0
+        )
+        sq = int(rng.integers(BOARD, BOARD * 2))
+        ray_len = rng.integers(1, 7, size=N_DIRS)
+        return {
+            "sq": sq,
+            "side": int(rng.integers(0, 2)),
+            "board": board,
+            "dirs": dirs,
+            "ray_len": ray_len,
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="crafty",
+        program=_build_ts(),
+        ts_name="attacked",
+        datasets={
+            "train": Dataset("train", n_invocations=160, non_ts_cycles=200_000.0,
+                             generator=_generator(0.25)),
+            "ref": Dataset("ref", n_invocations=480, non_ts_cycles=640_000.0,
+                           generator=_generator(0.18)),
+        },
+        paper=PaperRow("CRAFTY", "Attacked", "RBR", "12.3M", is_integer=True),
+    )

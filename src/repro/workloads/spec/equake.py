@@ -1,0 +1,79 @@
+"""EQUAKE / ``smvp`` analog (Table 1: CBR, 2709 invocations, noisy).
+
+``smvp`` is the sparse matrix-vector product at the heart of EQUAKE's
+earthquake simulation.  The loop bounds come from the (fixed) mesh-size
+scalars — one context, CBR applies — but the column-index indirection makes
+the memory access pattern irregular, so the working set misses in cache in
+a data-dependent way: "EQUAKE has a relatively high variation, which we
+attribute to its irregular memory access behavior, resulting from sparse
+matrix operations."  The source vector is sized well beyond L1 to reproduce
+that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, FunctionBuilder, Program, Type
+from ..base import Dataset, PaperRow, Workload
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "smvp",
+        [
+            ("rows", Type.INT),
+            ("k", Type.INT),
+            ("vals", Type.FLOAT_ARRAY),
+            ("col", Type.INT_ARRAY),
+            ("x", Type.FLOAT_ARRAY),
+            ("y", Type.FLOAT_ARRAY),
+        ],
+    )
+    with b.for_("i", 0, b.var("rows")) as i:
+        acc = b.local("acc", Type.FLOAT)
+        b.assign("acc", 0.0)
+        with b.for_("j", 0, b.var("k")) as j:
+            e = b.local("e", Type.INT)
+            b.assign("e", i * b.var("k") + j)
+            b.assign(
+                "acc",
+                b.var("acc")
+                + ArrayRef("vals", b.var("e")) * ArrayRef("x", ArrayRef("col", b.var("e"))),
+            )
+        b.store("y", i, b.var("acc"))
+    b.ret()
+    prog = Program("equake")
+    prog.add(b.build())
+    return prog
+
+
+def _generator(rows: int, k: int, xsize: int):
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        nnz = rows * k
+        return {
+            "rows": rows,
+            "k": k,
+            "vals": rng.standard_normal(nnz),
+            "col": rng.integers(0, xsize, size=nnz),
+            "x": rng.standard_normal(xsize),
+            "y": np.zeros(rows),
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="equake",
+        program=_build_ts(),
+        ts_name="smvp",
+        datasets={
+            # x spans ~24 KiB (3072 doubles) vs 8-16 KiB L1: misses abound
+            "train": Dataset("train", n_invocations=600, non_ts_cycles=1_900_000.0,
+                             generator=_generator(16, 5, 3072)),
+            "ref": Dataset("ref", n_invocations=1200, non_ts_cycles=6_000_000.0,
+                           generator=_generator(24, 6, 4096)),
+        },
+        paper=PaperRow("EQUAKE", "smvp", "CBR", "2709", is_integer=False, n_contexts=1),
+    )

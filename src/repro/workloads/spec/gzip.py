@@ -1,0 +1,91 @@
+"""GZIP / ``longest_match`` analog (Table 1: RBR, 82.6M invocations).
+
+``longest_match`` walks the hash chain of candidate positions and measures
+the match length at each, keeping the best; both the chain walk and each
+inner comparison loop exit on data, so context and component analyses fail
+and RBR is used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, FunctionBuilder, Program, Type, and_, eq
+from ..base import Dataset, PaperRow, Workload
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "longest_match",
+        [
+            ("cur", Type.INT),
+            ("chain_len", Type.INT),
+            ("max_len", Type.INT),
+            ("window", Type.INT_ARRAY),
+            ("prev", Type.INT_ARRAY),
+        ],
+        return_type=Type.INT,
+    )
+    best = b.local("best", Type.INT)
+    cand = b.local("cand", Type.INT)
+    chain = b.local("chain", Type.INT)
+    b.assign("best", 0)
+    b.assign("cand", ArrayRef("prev", b.var("cur")))
+    b.assign("chain", b.var("chain_len"))
+    with b.while_(and_(b.var("chain") > 0, b.var("cand") > 0)):
+        # quick reject: first byte must match (data-dependent branch)
+        with b.if_(eq(ArrayRef("window", b.var("cand")), ArrayRef("window", b.var("cur")))):
+            length = b.local("length", Type.INT)
+            b.assign("length", 0)
+            with b.while_(
+                and_(
+                    b.var("length") < b.var("max_len"),
+                    eq(
+                        ArrayRef("window", b.var("cand") + b.var("length")),
+                        ArrayRef("window", b.var("cur") + b.var("length")),
+                    ),
+                )
+            ):
+                b.assign("length", b.var("length") + 1)
+            with b.if_(b.var("length") > b.var("best")):
+                b.assign("best", b.var("length"))
+                with b.if_(b.var("best") >= b.var("max_len")):  # good enough
+                    b.break_()
+        b.assign("cand", ArrayRef("prev", b.var("cand")))
+        b.assign("chain", b.var("chain") - 1)
+    b.ret(b.var("best"))
+    prog = Program("gzip")
+    prog.add(b.build())
+    return prog
+
+
+def _generator(wsize: int, chain_len: int, max_len: int, alphabet: int):
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        window = rng.integers(0, alphabet, size=wsize + max_len + 1)
+        # hash chain: previous candidate positions, occasionally terminating
+        prev = rng.integers(0, wsize // 2, size=wsize + max_len + 1)
+        prev[rng.random(wsize + max_len + 1) < 0.15] = 0
+        return {
+            "cur": int(rng.integers(wsize // 2, wsize)),
+            "chain_len": chain_len,
+            "max_len": max_len,
+            "window": window,
+            "prev": prev,
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="gzip",
+        program=_build_ts(),
+        ts_name="longest_match",
+        datasets={
+            "train": Dataset("train", n_invocations=160, non_ts_cycles=240_000.0,
+                             generator=_generator(256, 8, 16, 4)),
+            "ref": Dataset("ref", n_invocations=480, non_ts_cycles=760_000.0,
+                           generator=_generator(512, 12, 24, 4)),
+        },
+        paper=PaperRow("GZIP", "longest_match", "RBR", "82.6M", is_integer=True),
+    )

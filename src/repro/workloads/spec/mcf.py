@@ -1,0 +1,80 @@
+"""MCF / ``primal_bea_mpp`` analog (Table 1: RBR, 105K invocations).
+
+``primal_bea_mpp`` scans arcs for the best negative reduced cost, filling a
+basket of candidates.  The comparisons against the running best and the
+basket admission tests all depend on the arc data — RBR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, FunctionBuilder, Program, Type, eq
+from ..base import Dataset, PaperRow, Workload
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "primal_bea_mpp",
+        [
+            ("n", Type.INT),
+            ("cost", Type.INT_ARRAY),
+            ("pi_tail", Type.INT_ARRAY),
+            ("pi_head", Type.INT_ARRAY),
+            ("ident", Type.INT_ARRAY),
+        ],
+        return_type=Type.INT,
+    )
+    best = b.local("best", Type.INT)
+    basket = b.local("basket", Type.INT)
+    bestarc = b.local("bestarc", Type.INT)
+    b.assign("best", 0)
+    b.assign("basket", 0)
+    b.assign("bestarc", -1)
+    with b.for_("i", 0, b.var("n")) as i:
+        red = b.local("red", Type.INT)
+        b.assign(
+            "red",
+            ArrayRef("cost", i) - ArrayRef("pi_tail", i) + ArrayRef("pi_head", i),
+        )
+        with b.if_(eq(ArrayRef("ident", i), 1)):  # arc at lower bound
+            with b.if_(b.var("red") < 0):
+                b.assign("basket", b.var("basket") + 1)
+                with b.if_(b.var("red") < b.var("best")):
+                    b.assign("best", b.var("red"))
+                    b.assign("bestarc", i)
+        with b.orelse():
+            with b.if_(b.var("red") > 0):  # arc at upper bound, wrong sign
+                b.assign("basket", b.var("basket") + 1)
+    b.ret(b.var("bestarc"))
+    prog = Program("mcf")
+    prog.add(b.build())
+    return prog
+
+
+def _generator(n: int):
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        return {
+            "n": n + int(rng.integers(0, n // 4)),
+            "cost": rng.integers(-100, 100, size=n + n // 4 + 1),
+            "pi_tail": rng.integers(0, 80, size=n + n // 4 + 1),
+            "pi_head": rng.integers(0, 80, size=n + n // 4 + 1),
+            "ident": rng.integers(0, 3, size=n + n // 4 + 1),
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="mcf",
+        program=_build_ts(),
+        ts_name="primal_bea_mpp",
+        datasets={
+            "train": Dataset("train", n_invocations=140, non_ts_cycles=230_000.0,
+                             generator=_generator(48)),
+            "ref": Dataset("ref", n_invocations=420, non_ts_cycles=720_000.0,
+                           generator=_generator(72)),
+        },
+        paper=PaperRow("MCF", "primal_bea_mpp", "RBR", "105K", is_integer=True),
+    )

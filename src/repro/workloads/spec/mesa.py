@@ -1,0 +1,90 @@
+"""MESA / ``sample_1d_linear`` analog (Table 1: RBR, 193M invocations).
+
+``sample_1d_linear`` is a tiny texture-sampling helper: compute the texel
+pair around the coordinate, apply the wrap mode per tap (data-dependent
+clamping), and blend.  The TS is small and extremely frequently invoked;
+its per-tap wrap branches vary with the coordinate data, so RBR is used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, Call, FunctionBuilder, Program, Type, to_int
+from ..base import Dataset, PaperRow, Workload
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "sample_1d_linear",
+        [
+            ("u", Type.FLOAT),
+            ("size", Type.INT),
+            ("texture", Type.FLOAT_ARRAY),
+            ("out", Type.FLOAT_ARRAY),
+        ],
+    )
+    uf = b.local("uf", Type.FLOAT)
+    i0 = b.local("i0", Type.INT)
+    i1 = b.local("i1", Type.INT)
+    frac = b.local("frac", Type.FLOAT)
+    b.assign("uf", b.var("u") * Call("float", (b.var("size"),)))
+    b.assign("i0", to_int(b.var("uf")))
+    b.assign("frac", b.var("uf") - Call("float", (b.var("i0"),)))
+    b.assign("i1", b.var("i0") + 1)
+    # wrap mode: clamp each tap (branches depend on the computed indices)
+    with b.if_(b.var("i0") < 0):
+        b.assign("i0", 0)
+    with b.if_(b.var("i0") > b.var("size") - 1):
+        b.assign("i0", b.var("size") - 1)
+    with b.if_(b.var("i1") < 0):
+        b.assign("i1", 0)
+    with b.if_(b.var("i1") > b.var("size") - 1):
+        b.assign("i1", b.var("size") - 1)
+    t0 = b.local("t0", Type.FLOAT)
+    t1 = b.local("t1", Type.FLOAT)
+    b.assign("t0", ArrayRef("texture", b.var("i0")))
+    b.assign("t1", ArrayRef("texture", b.var("i1")))
+    # nearest-texel fast path when the coordinate sits on a texel centre
+    with b.if_(b.var("frac") < 0.02):
+        b.assign("t1", b.var("t0"))
+    # single-texel degenerate filter (both taps clamped to the same texel)
+    with b.if_(to_int(b.var("i0")) - to_int(b.var("i1")) > -1):
+        b.assign("frac", 0.0)
+    # transparent-texel fast path (depends on texture contents)
+    with b.if_(t0 + t1 < 0.001):
+        b.store("out", 0, 0.0)
+    with b.orelse():
+        b.store("out", 0, b.var("t0") * (1.0 - b.var("frac")) + b.var("t1") * b.var("frac"))
+    b.ret()
+    prog = Program("mesa")
+    prog.add(b.build())
+    return prog
+
+
+def _generator(size: int):
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        return {
+            # coordinates wander outside [0,1) so the clamps actually fire
+            "u": float(rng.uniform(-0.2, 1.2)),
+            "size": size,
+            "texture": np.maximum(rng.standard_normal(size + 2), 0.0),
+            "out": np.zeros(1),
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="mesa",
+        program=_build_ts(),
+        ts_name="sample_1d_linear",
+        datasets={
+            "train": Dataset("train", n_invocations=400, non_ts_cycles=160_000.0,
+                             generator=_generator(32)),
+            "ref": Dataset("ref", n_invocations=1200, non_ts_cycles=520_000.0,
+                           generator=_generator(64)),
+        },
+        paper=PaperRow("MESA", "sample_1d_linear", "RBR", "193M", is_integer=False),
+    )

@@ -1,0 +1,89 @@
+"""MGRID / ``resid`` analog (Table 1: MBR, 2410 invocations).
+
+``resid`` computes the multigrid residual at whatever grid level the
+V-cycle is visiting, so its scalar context ``(n, m)`` takes many distinct
+values over a run (one per level × smoothing phase).  CBR is *applicable*
+(all control-influencing inputs are scalars) but has too many contexts —
+the paper's "MGRID_CBR has too many contexts, so it is worse than
+MGRID_MBR" — while MBR sees exactly two independently varying components
+(the residual sweep, count ``n-2``, and the injection sweep, count ``m``)
+plus the constant tail, and converges quickly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, FunctionBuilder, Program, Type
+from ..base import Dataset, PaperRow, Workload
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "resid",
+        [
+            ("n", Type.INT),
+            ("m", Type.INT),
+            ("u", Type.FLOAT_ARRAY),
+            ("v", Type.FLOAT_ARRAY),
+            ("r", Type.FLOAT_ARRAY),
+        ],
+    )
+    # residual sweep: component 1, count = n - 2
+    with b.for_("i", 1, b.var("n") - 1) as i:
+        b.store(
+            "r",
+            i,
+            ArrayRef("v", i)
+            - 2.0 * ArrayRef("u", i)
+            + 0.5 * (ArrayRef("u", i - 1) + ArrayRef("u", i + 1)),
+        )
+    # injection sweep to the coarser level: component 2, count = m
+    with b.for_("j", 0, b.var("m")) as j:
+        b.store("v", j, 0.25 * ArrayRef("r", j * 2) + 0.5 * ArrayRef("r", j * 2 + 1))
+    b.ret()
+    prog = Program("mgrid")
+    prog.add(b.build())
+    return prog
+
+
+#: the V-cycle's (n, m) schedule — 12 distinct contexts, far above the
+#: consultant's CBR threshold
+_LEVELS = [
+    (66, 8), (34, 12), (18, 6), (10, 4),
+    (66, 16), (34, 8), (18, 4), (10, 2),
+    (50, 10), (26, 6), (14, 4), (8, 2),
+]
+
+
+def _generator(scale: int):
+    max_n = max(n for n, _ in _LEVELS) * scale
+
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        n, m = _LEVELS[i % len(_LEVELS)]
+        n *= scale
+        return {
+            "n": n,
+            "m": m * scale,
+            "u": rng.standard_normal(max_n + 2),
+            "v": rng.standard_normal(max_n + 2),
+            "r": np.zeros(max_n + 2),
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="mgrid",
+        program=_build_ts(),
+        ts_name="resid",
+        datasets={
+            "train": Dataset("train", n_invocations=600, non_ts_cycles=1_500_000.0,
+                             generator=_generator(1)),
+            "ref": Dataset("ref", n_invocations=1200, non_ts_cycles=4_500_000.0,
+                           generator=_generator(2)),
+        },
+        paper=PaperRow("MGRID", "resid", "MBR", "2410", is_integer=False,
+                       n_contexts=len(_LEVELS)),
+    )

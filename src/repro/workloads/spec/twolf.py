@@ -1,0 +1,82 @@
+"""TWOLF / ``new_dbox_a`` analog (Table 1: RBR, 3.19M invocations).
+
+``new_dbox_a`` recomputes a net's bounding-box cost after a tentative cell
+move: it walks the net's terminals through an indirection table and updates
+four directional extremes under data-dependent tests — irregular integer
+code, rated with RBR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, FunctionBuilder, Program, Type
+from ..base import Dataset, PaperRow, Workload
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "new_dbox_a",
+        [
+            ("nterms", Type.INT),
+            ("termptr", Type.INT_ARRAY),
+            ("xs", Type.INT_ARRAY),
+            ("ys", Type.INT_ARRAY),
+        ],
+        return_type=Type.INT,
+    )
+    lo_x = b.local("lo_x", Type.INT)
+    hi_x = b.local("hi_x", Type.INT)
+    lo_y = b.local("lo_y", Type.INT)
+    hi_y = b.local("hi_y", Type.INT)
+    b.assign("lo_x", 1 << 20)
+    b.assign("hi_x", -(1 << 20))
+    b.assign("lo_y", 1 << 20)
+    b.assign("hi_y", -(1 << 20))
+    with b.for_("t", 0, b.var("nterms")) as t:
+        idx = b.local("idx", Type.INT)
+        x = b.local("x", Type.INT)
+        y = b.local("y", Type.INT)
+        b.assign("idx", ArrayRef("termptr", t))
+        b.assign("x", ArrayRef("xs", b.var("idx")))
+        b.assign("y", ArrayRef("ys", b.var("idx")))
+        with b.if_(b.var("x") < b.var("lo_x")):
+            b.assign("lo_x", b.var("x"))
+        with b.if_(b.var("x") > b.var("hi_x")):
+            b.assign("hi_x", b.var("x"))
+        with b.if_(b.var("y") < b.var("lo_y")):
+            b.assign("lo_y", b.var("y"))
+        with b.if_(b.var("y") > b.var("hi_y")):
+            b.assign("hi_y", b.var("y"))
+    b.ret(b.var("hi_x") - b.var("lo_x") + b.var("hi_y") - b.var("lo_y"))
+    prog = Program("twolf")
+    prog.add(b.build())
+    return prog
+
+
+def _generator(nterms: int, ncells: int):
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        nt = nterms + int(rng.integers(0, nterms // 3))
+        return {
+            "nterms": nt,
+            "termptr": rng.integers(0, ncells, size=nt + nterms // 3 + 1),
+            "xs": rng.integers(0, 4096, size=ncells),
+            "ys": rng.integers(0, 4096, size=ncells),
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="twolf",
+        program=_build_ts(),
+        ts_name="new_dbox_a",
+        datasets={
+            "train": Dataset("train", n_invocations=150, non_ts_cycles=210_000.0,
+                             generator=_generator(24, 256)),
+            "ref": Dataset("ref", n_invocations=450, non_ts_cycles=680_000.0,
+                           generator=_generator(36, 512)),
+        },
+        paper=PaperRow("TWOLF", "new_dbox_a", "RBR", "3.19M", is_integer=True),
+    )

@@ -1,0 +1,77 @@
+"""VORTEX / ``ChkGetChunk`` analog (Table 1: RBR, 80.4M invocations).
+
+``ChkGetChunk`` validates an object chunk against the database state: a
+scan over chunk descriptors with status/type/ownership checks, every one of
+them data-dependent — RBR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, FunctionBuilder, Program, Type, and_, eq, ne
+from ..base import Dataset, PaperRow, Workload
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "chk_get_chunk",
+        [
+            ("n", Type.INT),
+            ("want_type", Type.INT),
+            ("status", Type.INT_ARRAY),
+            ("types", Type.INT_ARRAY),
+            ("owner", Type.INT_ARRAY),
+        ],
+        return_type=Type.INT,
+    )
+    found = b.local("found", Type.INT)
+    errs = b.local("errs", Type.INT)
+    b.assign("found", -1)
+    b.assign("errs", 0)
+    with b.for_("i", 0, b.var("n")) as i:
+        with b.if_(eq(ArrayRef("status", i), 1)):  # chunk live?
+            with b.if_(eq(ArrayRef("types", i), b.var("want_type"))):
+                with b.if_(eq(b.var("found"), -1)):
+                    b.assign("found", i)
+                with b.orelse():
+                    b.assign("errs", b.var("errs") + 1)  # duplicate
+            with b.if_(eq(ArrayRef("owner", i), 0)):
+                b.assign("errs", b.var("errs") + 1)  # live but unowned
+        with b.orelse():
+            with b.if_(and_(ne(ArrayRef("owner", i), 0), eq(ArrayRef("status", i), 0))):
+                b.assign("errs", b.var("errs") + 1)  # dead but owned
+    b.ret(b.var("found") * 1000 + b.var("errs"))
+    prog = Program("vortex")
+    prog.add(b.build())
+    return prog
+
+
+def _generator(n: int):
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        nn = n + int(rng.integers(0, n // 4))
+        size = n + n // 4 + 1
+        return {
+            "n": nn,
+            "want_type": int(rng.integers(0, 6)),
+            "status": rng.integers(0, 2, size=size),
+            "types": rng.integers(0, 6, size=size),
+            "owner": rng.integers(0, 3, size=size),
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="vortex",
+        program=_build_ts(),
+        ts_name="chk_get_chunk",
+        datasets={
+            "train": Dataset("train", n_invocations=150, non_ts_cycles=220_000.0,
+                             generator=_generator(40)),
+            "ref": Dataset("ref", n_invocations=450, non_ts_cycles=700_000.0,
+                           generator=_generator(64)),
+        },
+        paper=PaperRow("VORTEX", "ChkGetChunk", "RBR", "80.4M", is_integer=True),
+    )

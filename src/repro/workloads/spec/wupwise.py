@@ -1,0 +1,98 @@
+"""WUPWISE / ``zgemm`` analog (Table 1: CBR with 2 contexts).
+
+``zgemm`` multiplies complex matrices; WUPWISE calls it with two distinct
+shapes during its lattice sweep, giving CBR exactly two contexts (Table 1
+lists ``zgemm(Context 1)`` and ``zgemm(Context 2)``).  Complex values are
+stored interleaved (re, im) in flat arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import ArrayRef, FunctionBuilder, Program, Type
+from ..base import Dataset, PaperRow, Workload
+
+
+def _build_ts() -> Program:
+    b = FunctionBuilder(
+        "zgemm",
+        [
+            ("m", Type.INT),
+            ("n", Type.INT),
+            ("k", Type.INT),
+            ("a", Type.FLOAT_ARRAY),  # m x k complex, interleaved
+            ("bm", Type.FLOAT_ARRAY),  # k x n complex
+            ("c", Type.FLOAT_ARRAY),  # m x n complex
+        ],
+    )
+    with b.for_("i", 0, b.var("m")) as i:
+        with b.for_("j", 0, b.var("n")) as j:
+            sr = b.local("sr", Type.FLOAT)
+            si = b.local("si", Type.FLOAT)
+            b.assign("sr", 0.0)
+            b.assign("si", 0.0)
+            with b.for_("p", 0, b.var("k")) as p:
+                ai = b.local("ai", Type.INT)
+                bi = b.local("bi", Type.INT)
+                b.assign("ai", (i * b.var("k") + p) * 2)
+                b.assign("bi", (p * b.var("n") + j) * 2)
+                b.assign(
+                    "sr",
+                    b.var("sr")
+                    + ArrayRef("a", b.var("ai")) * ArrayRef("bm", b.var("bi"))
+                    - ArrayRef("a", b.var("ai") + 1) * ArrayRef("bm", b.var("bi") + 1),
+                )
+                b.assign(
+                    "si",
+                    b.var("si")
+                    + ArrayRef("a", b.var("ai")) * ArrayRef("bm", b.var("bi") + 1)
+                    + ArrayRef("a", b.var("ai") + 1) * ArrayRef("bm", b.var("bi")),
+                )
+            ci = b.local("ci", Type.INT)
+            b.assign("ci", (i * b.var("n") + j) * 2)
+            b.store("c", b.var("ci"), b.var("sr"))
+            b.store("c", b.var("ci") + 1, b.var("si"))
+    b.ret()
+    prog = Program("wupwise")
+    prog.add(b.build())
+    return prog
+
+
+#: the two call shapes = the two CBR contexts
+_SHAPES = [(4, 3, 4), (2, 6, 3)]
+
+
+def _generator(scale: int):
+    shapes = [(m * scale, n * scale, k * scale) for m, n, k in _SHAPES]
+    amax = max(m * k for m, _, k in shapes) * 2
+    bmax = max(k * n for _, n, k in shapes) * 2
+    cmax = max(m * n for m, n, _ in shapes) * 2
+
+    def gen(rng: np.random.Generator, i: int) -> dict:
+        m, n, k = shapes[i % len(shapes)]
+        return {
+            "m": m,
+            "n": n,
+            "k": k,
+            "a": rng.standard_normal(amax),
+            "bm": rng.standard_normal(bmax),
+            "c": np.zeros(cmax),
+        }
+
+    return gen
+
+
+def build() -> Workload:
+    return Workload(
+        name="wupwise",
+        program=_build_ts(),
+        ts_name="zgemm",
+        datasets={
+            "train": Dataset("train", n_invocations=80, non_ts_cycles=260_000.0,
+                             generator=_generator(1)),
+            "ref": Dataset("ref", n_invocations=160, non_ts_cycles=800_000.0,
+                           generator=_generator(2)),
+        },
+        paper=PaperRow("WUPWISE", "zgemm", "CBR", "22.5M", is_integer=False, n_contexts=2),
+    )

@@ -1,0 +1,216 @@
+"""Tests for MBR component merging and trip-count analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ReachingDefs,
+    analyze_trip_counts,
+    build_components,
+)
+from repro.analysis.usedef import DefSite
+from repro.ir import ArrayRef, FunctionBuilder, Type, Var
+
+
+class TestComponents:
+    def test_affine_blocks_merged(self):
+        counts = {
+            "body": [100, 50, 60, 55, 80],
+            "body_twice": [200, 100, 120, 110, 160],  # 2*body
+            "body_plus": [101, 51, 61, 56, 81],  # body + 1
+        }
+        model = build_components(counts)
+        assert len(model.components) == 1
+        comp = model.components[0]
+        assert comp.representative == "body"
+        members = dict(comp.members)
+        a2, b2 = members["body_twice"]
+        assert a2 == pytest.approx(2.0) and b2 == pytest.approx(0.0)
+        a3, b3 = members["body_plus"]
+        assert a3 == pytest.approx(1.0) and b3 == pytest.approx(1.0)
+
+    def test_constant_blocks_into_constant_component(self):
+        counts = {"tail": [1, 1, 1, 1], "body": [10, 20, 30, 40]}
+        model = build_components(counts)
+        assert model.constant_blocks == ("tail",)
+        assert model.constant_counts["tail"] == 1.0
+        assert len(model.components) == 1
+
+    def test_independent_blocks_stay_separate(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(1, 100, size=20).astype(float)
+        y = rng.integers(1, 100, size=20).astype(float)
+        # ensure not accidentally affine
+        counts = {"a": x, "b": x * y}
+        model = build_components(counts)
+        assert len(model.components) == 2
+
+    def test_design_matrix_matches_figure2_shape(self):
+        counts = {"body": [100, 50, 60, 55, 80], "tail": [1, 1, 1, 1, 1]}
+        model = build_components(counts)
+        C = model.design_matrix({"body": [100, 50, 60, 55, 80]})
+        assert C.shape == (2, 5)
+        np.testing.assert_array_equal(C[0], [100, 50, 60, 55, 80])
+        np.testing.assert_array_equal(C[1], np.ones(5))
+
+    def test_counter_blocks_are_representatives_only(self):
+        counts = {
+            "body": [10.0, 20.0, 15.0],
+            "body2": [20.0, 40.0, 30.0],
+            "tail": [1.0, 1.0, 1.0],
+        }
+        model = build_components(counts)
+        assert model.counter_blocks() == ("body",)
+
+    def test_average_counts(self):
+        counts = {"body": [10.0, 20.0, 30.0]}
+        model = build_components(counts)
+        avg = model.average_counts({"body": [10.0, 20.0, 30.0]})
+        np.testing.assert_allclose(avg, [20.0, 1.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            build_components({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_n_components_includes_constant(self):
+        counts = {"body": [10.0, 20.0, 30.0]}
+        model = build_components(counts)
+        assert model.n_components == 2
+
+    def test_empty_model_design_matrix(self):
+        model = build_components({"only_const": [5, 5, 5]})
+        C = model.design_matrix({})
+        assert C.shape == (1, 0)
+
+
+class TestTripCounts:
+    def test_simple_counted_loop(self):
+        b = FunctionBuilder("f", [("n", Type.INT), ("a", Type.FLOAT_ARRAY)])
+        with b.for_("i", 0, b.var("n")) as i:
+            b.store("a", i, 0.0)
+        b.ret()
+        fn = b.build()
+        tcs = analyze_trip_counts(fn)
+        assert len(tcs) == 1
+        tc = next(iter(tcs.values()))
+        assert tc.induction_var == "i"
+        assert tc.evaluate({"n": 10}) == 10
+        assert tc.evaluate({"n": 0}) == 0
+        assert tc.evaluate({"n": -5}) == 0
+
+    def test_nonunit_step(self):
+        b = FunctionBuilder("f", [("n", Type.INT), ("a", Type.FLOAT_ARRAY)])
+        with b.for_("i", 0, b.var("n"), step=3) as i:
+            b.store("a", i, 0.0)
+        b.ret()
+        tcs = analyze_trip_counts(b.build())
+        tc = next(iter(tcs.values()))
+        assert tc.evaluate({"n": 10}) == 4  # 0,3,6,9
+
+    def test_descending_loop(self):
+        b = FunctionBuilder("f", [("n", Type.INT), ("a", Type.FLOAT_ARRAY)])
+        with b.for_("i", b.var("n"), 0, step=-1) as i:
+            b.store("a", i, 0.0)
+        b.ret()
+        tcs = analyze_trip_counts(b.build())
+        tc = next(iter(tcs.values()))
+        assert tc.evaluate({"n": 7}) == 7
+
+    def test_nested_loops_both_found(self):
+        b = FunctionBuilder("f", [("n", Type.INT), ("m", Type.INT), ("a", Type.FLOAT_ARRAY)])
+        with b.for_("i", 0, b.var("n")) as i:
+            with b.for_("j", 0, b.var("m")) as j:
+                b.store("a", i * b.var("m") + j, 0.0)
+        b.ret()
+        tcs = analyze_trip_counts(b.build())
+        assert len(tcs) == 2
+
+    def test_data_dependent_loop_not_regular(self):
+        # while (a[i] > 0) i++  — exit depends on data: no trip count
+        b = FunctionBuilder("f", [("a", Type.INT_ARRAY)], return_type=Type.INT)
+        b.local("i", Type.INT)
+        b.assign("i", 0)
+        with b.while_(ArrayRef("a", Var("i")) > 0):
+            b.assign("i", b.var("i") + 1)
+        b.ret(b.var("i"))
+        tcs = analyze_trip_counts(b.build())
+        assert tcs == {}
+
+    def test_loop_with_break_not_regular(self):
+        b = FunctionBuilder("f", [("n", Type.INT), ("a", Type.INT_ARRAY)])
+        with b.for_("i", 0, b.var("n")) as i:
+            with b.if_(ArrayRef("a", i) < 0):
+                b.break_()
+        b.ret()
+        tcs = analyze_trip_counts(b.build())
+        assert tcs == {}
+
+    def test_loop_bound_modified_inside_not_regular(self):
+        b = FunctionBuilder("f", [("n", Type.INT), ("a", Type.FLOAT_ARRAY)])
+        b.local("lim", Type.INT)
+        b.assign("lim", b.var("n"))
+        b.local("i", Type.INT)
+        b.assign("i", 0)
+        with b.while_(Var("i") < Var("lim")):
+            b.assign("lim", b.var("lim") - 1)
+            b.assign("i", b.var("i") + 1)
+        b.ret()
+        tcs = analyze_trip_counts(b.build())
+        assert tcs == {}
+
+    def test_affine_bound_expression(self):
+        b = FunctionBuilder("f", [("n", Type.INT), ("a", Type.FLOAT_ARRAY)])
+        with b.for_("i", 2, b.var("n") * 2 - 1) as i:
+            b.store("a", i, 0.0)
+        b.ret()
+        tcs = analyze_trip_counts(b.build())
+        tc = next(iter(tcs.values()))
+        assert tc.evaluate({"n": 5}) == 7  # range(2, 9)
+
+
+class TestReachingDefs:
+    def test_entry_defs_for_params(self):
+        b = FunctionBuilder("f", [("x", Type.INT)], return_type=Type.INT)
+        b.ret(b.var("x"))
+        fn = b.build()
+        rd = ReachingDefs(fn)
+        chain = rd.ud_chain_at_terminator("x", fn.cfg.entry)
+        assert chain == {DefSite.entry("x")}
+
+    def test_scalar_assign_kills(self):
+        b = FunctionBuilder("f", [("x", Type.INT)], return_type=Type.INT)
+        b.local("y", Type.INT)
+        b.assign("y", b.var("x"))
+        b.assign("y", 5)
+        b.ret(b.var("y"))
+        fn = b.build()
+        rd = ReachingDefs(fn)
+        chain = rd.ud_chain_at_terminator("y", fn.cfg.entry)
+        assert len(chain) == 1
+        (site,) = chain
+        assert site.index == 1  # only the second assignment reaches
+
+    def test_loop_carried_defs_merge(self):
+        b = FunctionBuilder("f", [("n", Type.INT)], return_type=Type.INT)
+        b.local("s", Type.INT)
+        b.assign("s", 0)
+        with b.for_("i", 0, b.var("n")) as i:
+            b.assign("s", b.var("s") + i)
+        b.ret(b.var("s"))
+        fn = b.build()
+        rd = ReachingDefs(fn)
+        # at the return, both the init and the loop-body def of s reach
+        ret_label = fn.cfg.exit_labels()[0]
+        chain = rd.ud_chain_at_terminator("s", ret_label)
+        assert len(chain) == 2
+
+    def test_array_store_does_not_kill(self):
+        b = FunctionBuilder("f", [("a", Type.FLOAT_ARRAY)])
+        b.store("a", 0, 1.0)
+        b.store("a", 1, 2.0)
+        b.ret()
+        fn = b.build()
+        rd = ReachingDefs(fn)
+        chain = rd.ud_chain_at_terminator("a", fn.cfg.entry)
+        # entry def + both stores all reach (may-defs)
+        assert len(chain) == 3

@@ -1,0 +1,194 @@
+"""Tests for the Fig. 1 context-variable analysis (CBR applicability)."""
+
+import pytest
+
+from repro.analysis import (
+    ContextVarSpec,
+    analyze_context,
+    context_key,
+    refine_context,
+)
+from repro.ir import ArrayRef, Const, FunctionBuilder, Type, Var, eq
+
+
+def regular_kernel():
+    """Trip counts driven by scalar params -> CBR applicable, context {n, m}."""
+    b = FunctionBuilder(
+        "kern",
+        [("n", Type.INT), ("m", Type.INT), ("a", Type.FLOAT_ARRAY)],
+    )
+    with b.for_("i", 0, b.var("n")) as i:
+        with b.for_("j", 0, b.var("m")) as j:
+            b.store("a", i * b.var("m") + j, 1.0)
+    b.ret()
+    return b.build()
+
+
+def data_dependent_kernel():
+    """Early exit depends on array contents -> CBR inapplicable."""
+    b = FunctionBuilder(
+        "scan", [("n", Type.INT), ("a", Type.INT_ARRAY)], return_type=Type.INT
+    )
+    b.local("k", Type.INT)
+    b.assign("k", 0)
+    with b.for_("i", 0, b.var("n")) as i:
+        with b.if_(ArrayRef("a", i) > 0):
+            b.assign("k", b.var("k") + 1)
+    b.ret(b.var("k"))
+    return b.build()
+
+
+class TestApplicability:
+    def test_regular_kernel_applicable(self):
+        res = analyze_context(regular_kernel())
+        assert res.applicable
+        assert {v.display for v in res.context_vars} == {"n", "m"}
+
+    def test_data_dependent_kernel_inapplicable(self):
+        res = analyze_context(data_dependent_kernel())
+        assert not res.applicable
+        assert "array" in res.reason
+
+    def test_induction_variable_not_a_context_var(self):
+        res = analyze_context(regular_kernel())
+        assert "i" not in {v.display for v in res.context_vars}
+        assert "j" not in {v.display for v in res.context_vars}
+
+    def test_constant_subscript_array_read_counts_as_scalar(self):
+        # paper: "array references with constant subscripts" are scalars
+        b = FunctionBuilder(
+            "hdr", [("params", Type.INT_ARRAY), ("a", Type.FLOAT_ARRAY)]
+        )
+        with b.for_("i", 0, ArrayRef("params", Const(0))) as i:
+            b.store("a", i, 0.0)
+        b.ret()
+        res = analyze_context(b.build())
+        assert res.applicable
+        assert {v.display for v in res.context_vars} == {"params[0]"}
+
+    def test_constant_subscript_of_modified_array_rejected(self):
+        b = FunctionBuilder("f", [("a", Type.INT_ARRAY)])
+        b.store("a", 0, 7)
+        with b.while_(Var("x") < ArrayRef("a", Const(0))):
+            b.assign("x", b.var("x") + 1)
+        b.local("x", Type.INT)
+        b.ret()
+        fn = b.build()
+        res = analyze_context(fn)
+        assert not res.applicable
+
+    def test_scalar_derived_through_arithmetic_traced_to_inputs(self):
+        b = FunctionBuilder("f", [("n", Type.INT), ("a", Type.FLOAT_ARRAY)])
+        b.local("bound", Type.INT)
+        b.assign("bound", b.var("n") * 2 + 1)
+        with b.for_("i", 0, b.var("bound")) as i:
+            b.store("a", i, 0.0)
+        b.ret()
+        res = analyze_context(b.build())
+        assert res.applicable
+        assert {v.display for v in res.context_vars} == {"n"}
+
+    def test_value_from_non_const_array_read_rejected(self):
+        b = FunctionBuilder("f", [("n", Type.INT), ("a", Type.INT_ARRAY)])
+        b.local("lim", Type.INT)
+        b.assign("lim", ArrayRef("a", Var("n")))
+        b.local("i", Type.INT)
+        b.assign("i", 0)
+        with b.while_(Var("i") < Var("lim")):
+            b.assign("i", b.var("i") + 1)
+        b.ret()
+        res = analyze_context(b.build())
+        assert not res.applicable
+
+    def test_no_control_flow_is_trivially_applicable(self):
+        b = FunctionBuilder("f", [("x", Type.FLOAT)], return_type=Type.FLOAT)
+        b.ret(b.var("x") * 2.0)
+        res = analyze_context(b.build())
+        assert res.applicable
+        assert res.context_vars == ()
+
+    def test_uninitialised_local_in_condition_is_constant(self):
+        b = FunctionBuilder("f", [("a", Type.FLOAT_ARRAY)])
+        b.local("z", Type.INT)
+        with b.if_(Var("z") > 0):
+            b.store("a", 0, 1.0)
+        b.ret()
+        res = analyze_context(b.build())
+        assert res.applicable
+        assert res.context_vars == ()
+
+
+class TestPointerContexts:
+    def test_stable_pointer_const_element_ok(self):
+        b = FunctionBuilder("f", [("p", Type.PTR), ("a", Type.FLOAT_ARRAY)])
+        with b.for_("i", 0, ArrayRef("p", Const(2))) as i:
+            b.store("a", i, 0.0)
+        b.ret()
+        res = analyze_context(b.build())
+        assert res.applicable
+        assert {v.display for v in res.context_vars} == {"p[2]"}
+
+    def test_reassigned_pointer_rejected(self):
+        b = FunctionBuilder("f", [("p", Type.PTR), ("q", Type.PTR), ("a", Type.FLOAT_ARRAY)])
+        b.assign("p", Var("q"))  # p is changed within the TS
+        with b.for_("i", 0, ArrayRef("p", Const(2))) as i:
+            b.store("a", i, 0.0)
+        b.ret()
+        res = analyze_context(b.build())
+        assert not res.applicable
+
+    def test_pointer_compared_directly_is_scalar(self):
+        b = FunctionBuilder("f", [("p", Type.PTR), ("q", Type.PTR), ("a", Type.FLOAT_ARRAY)])
+        with b.if_(Var("p") < Var("q")):
+            b.store("a", 0, 1.0)
+        b.ret()
+        res = analyze_context(b.build())
+        assert res.applicable
+        assert {v.display for v in res.context_vars} == {"p", "q"}
+
+
+class TestContextKey:
+    def test_key_extraction(self):
+        res = analyze_context(regular_kernel())
+        key = context_key(res, {"n": 4, "m": 7, "a": [0.0]})
+        specs = [v.display for v in res.context_vars]
+        assert len(key) == 2
+        assert dict(zip(specs, key)) == {"n": 4, "m": 7}
+
+    def test_key_with_array_element(self):
+        b = FunctionBuilder("hdr", [("params", Type.INT_ARRAY), ("a", Type.FLOAT_ARRAY)])
+        with b.for_("i", 0, ArrayRef("params", Const(1))) as i:
+            b.store("a", i, 0.0)
+        b.ret()
+        res = analyze_context(b.build())
+        key = context_key(res, {"params": [10, 20, 30], "a": [0.0]})
+        assert key == (20,)
+
+    def test_key_on_inapplicable_raises(self):
+        res = analyze_context(data_dependent_kernel())
+        with pytest.raises(ValueError):
+            context_key(res, {})
+
+
+class TestRuntimeConstants:
+    def test_constant_context_var_removed(self):
+        res = analyze_context(regular_kernel())
+        runs = [{"n": 5, "m": 3}, {"n": 6, "m": 3}, {"n": 7, "m": 3}]
+        refined = refine_context(res, runs)
+        assert {v.display for v in refined.context_vars} == {"n"}
+
+    def test_all_varying_kept(self):
+        res = analyze_context(regular_kernel())
+        runs = [{"n": 5, "m": 3}, {"n": 6, "m": 4}]
+        refined = refine_context(res, runs)
+        assert {v.display for v in refined.context_vars} == {"n", "m"}
+
+    def test_no_profile_data_keeps_nothing_varying(self):
+        res = analyze_context(regular_kernel())
+        refined = refine_context(res, [])
+        # vacuously constant -> everything removed
+        assert refined.context_vars == ()
+
+    def test_inapplicable_passthrough(self):
+        res = analyze_context(data_dependent_kernel())
+        assert refine_context(res, [{"n": 1}]) is res

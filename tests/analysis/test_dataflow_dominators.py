@@ -1,0 +1,119 @@
+"""Tests for the dataflow framework, dominators, and loop detection."""
+
+from repro.analysis import (
+    dominators,
+    immediate_dominators,
+    loop_nest_depths,
+    natural_loops,
+)
+from repro.ir import (
+    BasicBlock,
+    CFG,
+    CondBranch,
+    FunctionBuilder,
+    Jump,
+    Return,
+    Type,
+    Var,
+)
+
+
+def diamond():
+    cfg = CFG("entry")
+    cfg.add_block(BasicBlock("entry", terminator=CondBranch(Var("x") > 0, "a", "b")))
+    cfg.add_block(BasicBlock("a", terminator=Jump("join")))
+    cfg.add_block(BasicBlock("b", terminator=Jump("join")))
+    cfg.add_block(BasicBlock("join", terminator=Return(None)))
+    return cfg
+
+
+def looped():
+    """entry -> header <-> body ; header -> exit"""
+    cfg = CFG("entry")
+    cfg.add_block(BasicBlock("entry", terminator=Jump("header")))
+    cfg.add_block(
+        BasicBlock("header", terminator=CondBranch(Var("i") < Var("n"), "body", "exit"))
+    )
+    cfg.add_block(BasicBlock("body", terminator=Jump("header")))
+    cfg.add_block(BasicBlock("exit", terminator=Return(None)))
+    return cfg
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        doms = dominators(diamond())
+        for label, ds in doms.items():
+            assert "entry" in ds
+
+    def test_diamond_idoms(self):
+        idom = immediate_dominators(diamond())
+        assert idom["entry"] is None
+        assert idom["a"] == "entry"
+        assert idom["b"] == "entry"
+        assert idom["join"] == "entry"
+
+    def test_loop_idoms(self):
+        idom = immediate_dominators(looped())
+        assert idom["header"] == "entry"
+        assert idom["body"] == "header"
+        assert idom["exit"] == "header"
+
+    def test_every_block_dominates_itself(self):
+        for label, ds in dominators(looped()).items():
+            assert label in ds
+
+
+class TestNaturalLoops:
+    def test_single_loop_found(self):
+        loops = natural_loops(looped())
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == "header"
+        assert loop.body == {"header", "body"}
+        assert loop.back_edges == (("body", "header"),)
+
+    def test_loop_exits(self):
+        cfg = looped()
+        loop = natural_loops(cfg)[0]
+        assert loop.exits(cfg) == [("header", "exit")]
+
+    def test_loop_preheaders(self):
+        cfg = looped()
+        loop = natural_loops(cfg)[0]
+        assert loop.preheaders(cfg) == ["entry"]
+
+    def test_no_loops_in_diamond(self):
+        assert natural_loops(diamond()) == []
+
+    def test_nested_loops_from_builder(self):
+        b = FunctionBuilder("f", [("n", Type.INT)])
+        b.local("s", Type.INT)
+        b.assign("s", 0)
+        with b.for_("i", 0, b.var("n")) as i:
+            with b.for_("j", 0, b.var("n")) as j:
+                b.assign("s", b.var("s") + i * j)
+        b.ret(b.var("s"))
+        fn = b.build()
+        loops = natural_loops(fn.cfg)
+        assert len(loops) == 2
+        bodies = sorted(loops, key=lambda l: len(l.body))
+        assert bodies[0].body < bodies[1].body  # inner nested in outer
+
+    def test_nest_depths(self):
+        b = FunctionBuilder("f", [("n", Type.INT)])
+        b.local("s", Type.INT)
+        b.assign("s", 0)
+        with b.for_("i", 0, b.var("n")) as i:
+            b.assign("s", b.var("s") + i)
+            with b.for_("j", 0, b.var("n")) as j:
+                b.assign("s", b.var("s") + j)
+        b.ret(b.var("s"))
+        fn = b.build()
+        depths = loop_nest_depths(fn.cfg)
+        assert depths["entry"] == 0
+        inner_bodies = [
+            l
+            for l in fn.cfg.blocks
+            if depths[l] == 2 and l.startswith("loop_body")
+        ]
+        assert inner_bodies  # the inner body sits at depth 2

@@ -1,0 +1,75 @@
+"""Tests for the simple points-to analysis (Section 2.2's pointer rule)."""
+
+from repro.analysis import points_to
+from repro.analysis.pointsto import UNKNOWN
+from repro.ir import FunctionBuilder, Type, Var
+
+
+def build(body):
+    b = FunctionBuilder(
+        "f",
+        [("p", Type.PTR), ("q", Type.PTR), ("a", Type.FLOAT_ARRAY), ("b", Type.FLOAT_ARRAY)],
+    )
+    b.local("r", Type.PTR)
+    body(b)
+    b.ret()
+    return b.build()
+
+
+class TestPointsTo:
+    def test_unseeded_params_point_to_unknown(self):
+        fn = build(lambda b: None)
+        res = points_to(fn)
+        assert res.may_point_to("p", "a")  # unknown: may point anywhere
+        assert UNKNOWN in res.targets["p"]
+
+    def test_seeds_narrow_targets(self):
+        fn = build(lambda b: None)
+        res = points_to(fn, seeds={"p": frozenset({"a"})})
+        assert res.may_point_to("p", "a")
+        assert not res.may_point_to("p", "b")
+
+    def test_unassigned_pointer_is_stable(self):
+        fn = build(lambda b: None)
+        res = points_to(fn)
+        assert res.is_stable("p")
+        assert res.is_stable("q")
+
+    def test_assignment_marks_changed(self):
+        fn = build(lambda b: b.assign("p", Var("q")))
+        res = points_to(fn)
+        assert not res.is_stable("p")
+        assert res.is_stable("q")
+
+    def test_pointer_copy_propagates_targets(self):
+        fn = build(lambda b: b.assign("r", Var("p")))
+        res = points_to(fn, seeds={"p": frozenset({"a"})})
+        assert res.may_point_to("r", "a")
+        assert not res.may_point_to("r", "b")
+
+    def test_taking_array_handle(self):
+        fn = build(lambda b: b.assign("r", Var("a")))
+        res = points_to(fn)
+        assert res.may_point_to("r", "a")
+        assert not res.is_stable("r")
+
+    def test_copy_chain_fixpoint(self):
+        def body(b):
+            b.local("s", Type.PTR)
+            b.assign("r", Var("a"))
+            b.assign("s", Var("r"))
+            b.assign("r", Var("s"))  # cycle: must terminate
+
+        fn = build(body)
+        res = points_to(fn)
+        assert res.may_point_to("r", "a")
+
+    def test_non_pointer_assignment_goes_unknown(self):
+        def body(b):
+            b.local("k", Type.INT)
+            b.assign("k", 1)
+            b.assign("r", Var("k") + 1)  # arithmetic into a pointer
+
+        fn = build(body)
+        res = points_to(fn)
+        assert UNKNOWN in res.targets["r"]

@@ -1,0 +1,326 @@
+"""Pipeline tests: semantic preservation under every flag combination
+(differential, hypothesis-driven) and effect-model behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    ALL_FLAGS,
+    N_FLAGS,
+    OptConfig,
+    compile_version,
+    run_passes,
+)
+from repro.compiler.effects import compute_costing
+from repro.ir import (
+    ArrayRef,
+    Const,
+    FunctionBuilder,
+    Type,
+    Var,
+    eq,
+    validate_function,
+)
+from repro.machine import Executor, PENTIUM4, SPARC2
+
+
+# --------------------------------------------------------------------------- #
+# kernels covering the pass surface
+
+
+def kernel_regular():
+    """Regular loop nest with redundant subexpressions and invariants."""
+    b = FunctionBuilder(
+        "regular",
+        [("n", Type.INT), ("m", Type.INT), ("a", Type.FLOAT_ARRAY), ("c", Type.FLOAT)],
+    )
+    b.local("scale", Type.FLOAT)
+    with b.for_("i", 0, b.var("n")) as i:
+        with b.for_("j", 0, b.var("m")) as j:
+            b.assign("scale", b.var("c") * 2.0)  # invariant
+            b.store(
+                "a",
+                i * b.var("m") + j,
+                ArrayRef("a", i * b.var("m") + j) * b.var("scale") + (i * b.var("m") + j) * 1,
+            )
+    b.ret()
+    return b.build()
+
+
+def kernel_branchy():
+    """Data-dependent branches, early exit, conditional accumulation."""
+    b = FunctionBuilder(
+        "branchy", [("n", Type.INT), ("a", Type.INT_ARRAY)], return_type=Type.INT
+    )
+    b.local("s", Type.INT)
+    b.local("k", Type.INT)
+    b.assign("s", 0)
+    b.assign("k", 0)
+    with b.for_("i", 0, b.var("n")) as i:
+        with b.if_(ArrayRef("a", i) > 0):
+            b.assign("s", b.var("s") + ArrayRef("a", i) * 4)
+        with b.orelse():
+            b.assign("s", b.var("s") - 1)
+        with b.if_(b.var("s") > 1000):
+            b.break_()
+        b.assign("k", b.var("k") + 1)
+    b.ret(b.var("s") * 8 + b.var("k"))
+    return b.build()
+
+
+def kernel_mixed():
+    """Scalar conditionals eligible for if-conversion, strength-reducible ops."""
+    b = FunctionBuilder(
+        "mixed",
+        [("n", Type.INT), ("x", Type.FLOAT_ARRAY), ("y", Type.FLOAT_ARRAY)],
+        return_type=Type.FLOAT,
+    )
+    b.local("acc", Type.FLOAT)
+    b.local("w", Type.FLOAT)
+    b.assign("acc", 0.0)
+    with b.for_("i", 0, b.var("n")) as i:
+        b.assign("w", ArrayRef("x", i * 2))
+        with b.if_(b.var("w") > 0.5):
+            b.assign("w", b.var("w") * 2.0)
+        with b.orelse():
+            b.assign("w", b.var("w") + 0.25)
+        b.store("y", i, b.var("w"))
+        b.assign("acc", b.var("acc") + b.var("w"))
+    b.ret(b.var("acc"))
+    return b.build()
+
+
+KERNELS = {
+    "regular": (
+        kernel_regular,
+        lambda rng: {
+            "n": int(rng.integers(0, 6)),
+            "m": int(rng.integers(0, 6)),
+            "a": rng.normal(size=36),
+            "c": float(rng.normal()),
+        },
+    ),
+    "branchy": (
+        kernel_branchy,
+        lambda rng: {
+            "n": int(rng.integers(0, 20)),
+            "a": rng.integers(-10, 50, size=20),
+        },
+    ),
+    "mixed": (
+        kernel_mixed,
+        lambda rng: {
+            "n": int(rng.integers(0, 8)),
+            "x": rng.random(16),
+            "y": np.zeros(8),
+        },
+    ),
+}
+
+
+def _outputs(fn_factory, inputs_factory, config, seed):
+    fn = fn_factory()
+    machine = SPARC2
+    version = compile_version(fn, config, machine)
+    rng = np.random.default_rng(seed)
+    env = inputs_factory(rng)
+    env = {
+        k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()
+    }
+    res = Executor(machine).run(version.exe, env)
+    arrays = {
+        k: v.copy() for k, v in env.items() if isinstance(v, np.ndarray)
+    }
+    return res.return_value, arrays
+
+
+flag_subsets = st.sets(
+    st.sampled_from([f.name for f in ALL_FLAGS]), min_size=0, max_size=N_FLAGS
+)
+
+
+class TestDifferentialSemantics:
+    """Every optimization configuration must compute exactly what -O0 does."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(flags=flag_subsets, seed=st.integers(0, 2**31 - 1))
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_flag_subsets_preserve_semantics(self, kernel, flags, seed):
+        fn_factory, inputs_factory = KERNELS[kernel]
+        ref_val, ref_arrays = _outputs(fn_factory, inputs_factory, OptConfig.o0(), seed)
+        opt_val, opt_arrays = _outputs(
+            fn_factory, inputs_factory, OptConfig(frozenset(flags)), seed
+        )
+        if isinstance(ref_val, float):
+            assert opt_val == pytest.approx(ref_val, rel=1e-9, abs=1e-12)
+        else:
+            assert opt_val == ref_val
+        for name in ref_arrays:
+            np.testing.assert_allclose(
+                opt_arrays[name], ref_arrays[name], rtol=1e-9, atol=1e-12
+            )
+
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_o3_preserves_semantics(self, kernel):
+        fn_factory, inputs_factory = KERNELS[kernel]
+        for seed in range(5):
+            ref_val, ref_arrays = _outputs(
+                fn_factory, inputs_factory, OptConfig.o0(), seed
+            )
+            opt_val, opt_arrays = _outputs(
+                fn_factory, inputs_factory, OptConfig.o3(), seed
+            )
+            if isinstance(ref_val, float):
+                assert opt_val == pytest.approx(ref_val, rel=1e-9)
+            else:
+                assert opt_val == ref_val
+            for name in ref_arrays:
+                np.testing.assert_allclose(opt_arrays[name], ref_arrays[name], rtol=1e-9)
+
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_single_flag_off_preserves_semantics(self, kernel):
+        fn_factory, inputs_factory = KERNELS[kernel]
+        ref_val, ref_arrays = _outputs(fn_factory, inputs_factory, OptConfig.o0(), 42)
+        for flag in ALL_FLAGS:
+            opt_val, opt_arrays = _outputs(
+                fn_factory, inputs_factory, OptConfig.o3().without(flag.name), 42
+            )
+            if isinstance(ref_val, float):
+                assert opt_val == pytest.approx(ref_val, rel=1e-9), flag.name
+            else:
+                assert opt_val == ref_val, flag.name
+            for name in ref_arrays:
+                np.testing.assert_allclose(
+                    opt_arrays[name], ref_arrays[name], rtol=1e-9,
+                    err_msg=f"flag={flag.name} array={name}",
+                )
+
+
+class TestPipelineStructure:
+    def test_run_passes_validates(self):
+        fn = run_passes(kernel_regular(), OptConfig.o3(), checked=True)
+        validate_function(fn)
+
+    def test_o3_reduces_work(self):
+        """-O3 should genuinely shrink/speed the regular kernel vs -O0."""
+        fn = kernel_regular()
+        v0 = compile_version(fn, OptConfig.o0(), SPARC2)
+        v3 = compile_version(fn, OptConfig.o3(), SPARC2)
+        env = lambda: {"n": 5, "m": 5, "a": np.ones(25), "c": 1.5}
+        ex = Executor(SPARC2)
+        t0 = ex.run(v0.exe, env()).cycles
+        ex.reset()
+        t3 = ex.run(v3.exe, env()).cycles
+        assert t3 < t0
+
+    def test_version_label_describes_config(self):
+        v = compile_version(kernel_regular(), OptConfig.o3(), SPARC2)
+        assert v.label == "-O3"
+        v2 = compile_version(
+            kernel_regular(), OptConfig.o3().without("gcse"), SPARC2
+        )
+        assert "gcse" in v2.label
+
+
+class TestEffectModel:
+    def test_strict_aliasing_asymmetry(self):
+        """strict-aliasing must spill on pentium4 for branch-rich loop code
+        (live ranges stretched across control flow) but not on sparc2 —
+        the ART anecdote's mechanism."""
+        b = FunctionBuilder(
+            "branchheavy",
+            [
+                ("n", Type.INT),
+                ("a", Type.FLOAT_ARRAY),
+                ("c", Type.FLOAT_ARRAY),
+                ("d", Type.FLOAT_ARRAY),
+                ("e", Type.FLOAT_ARRAY),
+            ],
+        )
+        b.local("s1", Type.FLOAT)
+        b.local("s2", Type.FLOAT)
+        b.local("s3", Type.FLOAT)
+        with b.for_("i", 0, b.var("n")) as i:
+            t = b.local("t", Type.FLOAT)
+            b.assign("t", ArrayRef("c", i) * ArrayRef("d", i) + ArrayRef("e", i))
+            b.store("a", i, b.var("t"))
+            with b.if_(b.var("t") > 0.5):
+                b.assign("s1", b.var("s1") + b.var("t"))
+            with b.if_(b.var("t") < 0.1):
+                b.assign("s2", b.var("s2") + 1.0)
+            with b.if_(b.var("t") * b.var("s1") > 1.0):
+                b.assign("s3", b.var("s3") + b.var("t"))
+            with b.if_(b.var("s2") > b.var("s3")):
+                b.assign("s1", b.var("s1") * 0.5)
+            with b.if_(b.var("s1") < -1.0):
+                b.assign("s1", -1.0)
+        b.ret()
+        fn = b.build()
+        cfg_on = OptConfig.o3()
+        c_p4 = compute_costing(run_passes(fn, cfg_on), cfg_on, PENTIUM4)
+        c_sp = compute_costing(run_passes(fn, cfg_on), cfg_on, SPARC2)
+        assert c_p4.total_spill_blocks() > 0
+        assert c_sp.total_spill_blocks() == 0
+        cfg_off = cfg_on.without("strict-aliasing")
+        c_p4_off = compute_costing(run_passes(fn, cfg_off), cfg_off, PENTIUM4)
+        assert sum(c_p4_off.block_spill.values()) < sum(c_p4.block_spill.values())
+
+    def test_mem_factor_composes(self):
+        fn = kernel_regular()
+        cfg = OptConfig.of("gcse", "gcse-lm", "gcse-sm", "strict-aliasing")
+        costing = compute_costing(run_passes(fn, cfg), cfg, SPARC2)
+        expected = 0.965 * 0.985 * 0.90
+        assert costing.factors.mem == pytest.approx(expected)
+
+    def test_requires_gating(self):
+        fn = kernel_regular()
+        # gcse-lm without gcse has no effect
+        cfg = OptConfig.of("gcse-lm")
+        costing = compute_costing(run_passes(fn, cfg), cfg, SPARC2)
+        assert costing.factors.mem == 1.0
+
+    def test_machine_override_used(self):
+        # regular kernel: static branch guessing helps, machine-dependently
+        fn = kernel_regular()
+        cfg = OptConfig.of("guess-branch-probability")
+        c_p4 = compute_costing(run_passes(fn, cfg), cfg, PENTIUM4)
+        c_sp = compute_costing(run_passes(fn, cfg), cfg, SPARC2)
+        assert c_p4.factors.branch == pytest.approx(0.84)
+        assert c_sp.factors.branch == pytest.approx(0.88)
+
+    def test_branch_guessing_hurts_irregular_codes(self):
+        # irregular kernel (data-dependent branches): static guessing hurts
+        fn = kernel_branchy()
+        cfg = OptConfig.of("guess-branch-probability")
+        for machine in (SPARC2, PENTIUM4):
+            c = compute_costing(run_passes(fn, cfg), cfg, machine)
+            assert c.factors.branch > 1.0
+
+    def test_schedule_insns_cheaper_on_inorder_sparc(self):
+        b = FunctionBuilder("big", [("x", Type.FLOAT)], return_type=Type.FLOAT)
+        b.local("t", Type.FLOAT)
+        b.assign("t", b.var("x"))
+        for _ in range(8):
+            b.assign("t", b.var("t") * 1.0001 + 0.5)
+        b.ret(b.var("t"))
+        fn = b.build()
+        cfg = OptConfig.of("schedule-insns")
+        base = OptConfig.o0()
+        for machine in (SPARC2, PENTIUM4):
+            c_on = compute_costing(run_passes(fn, cfg), cfg, machine)
+            c_off = compute_costing(run_passes(fn, base), base, machine)
+            entry = fn.cfg.entry
+            ratio_on = c_on.block_compute[entry] / c_off.block_compute[entry]
+            if machine is SPARC2:
+                sparc_ratio = ratio_on
+            else:
+                p4_ratio = ratio_on
+        assert sparc_ratio < p4_ratio < 1.0
+
+    def test_code_size_reported(self):
+        v_small = compile_version(kernel_regular(), OptConfig.o0(), SPARC2)
+        v_unrolled = compile_version(
+            kernel_regular(), OptConfig.of("rerun-loop-opt"), SPARC2
+        )
+        assert v_unrolled.code_size > v_small.code_size

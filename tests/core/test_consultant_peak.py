@@ -1,0 +1,203 @@
+"""Tests for the Rating Approach Consultant, TS selector, and PEAK driver."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import OptConfig
+from repro.core import PeakTuner, evaluate_speedup, measure_whole_program, select_tuning_sections
+from repro.core.rating import ConsultantLimits, RatingSettings, consult
+from repro.core.search import BatchElimination, IterativeElimination
+from repro.machine import PENTIUM4, SPARC2, profile_tuning_section
+from repro.workloads import get_workload
+
+
+def plan_for(name, machine=SPARC2, limit=60):
+    w = get_workload(name)
+    prof = profile_tuning_section(
+        w.ts, w.profile_invocations("train", limit=limit), machine
+    )
+    return consult(w.ts, prof, machine, pointer_seeds=w.pointer_seeds), w, prof
+
+
+class TestConsultant:
+    @pytest.mark.parametrize(
+        "name", ["bzip2", "crafty", "gzip", "mcf", "twolf", "vortex", "art", "mesa"]
+    )
+    def test_irregular_codes_choose_rbr(self, name):
+        plan, w, _ = plan_for(name)
+        assert plan.chosen == "RBR", plan.notes
+
+    @pytest.mark.parametrize("name", ["swim", "applu", "equake", "apsi", "wupwise"])
+    def test_regular_codes_choose_cbr(self, name):
+        plan, w, _ = plan_for(name)
+        assert plan.chosen == "CBR", plan.notes
+
+    def test_mgrid_chooses_mbr_over_many_contexts(self):
+        plan, w, _ = plan_for("mgrid")
+        assert plan.chosen == "MBR"
+        assert "CBR" in plan.applicable  # applicable, but too many contexts
+        assert plan.n_contexts > ConsultantLimits().max_contexts_for_cbr
+
+    def test_context_counts_match_paper(self):
+        for name, expected in (("apsi", 3), ("wupwise", 2), ("swim", 1), ("equake", 1)):
+            plan, _, _ = plan_for(name)
+            assert plan.n_contexts == expected, (name, plan.notes)
+
+    def test_rbr_always_applicable(self):
+        for name in ("swim", "mgrid", "art"):
+            plan, _, _ = plan_for(name)
+            assert plan.applicable[-1] == "RBR"
+
+    def test_next_method_order(self):
+        plan, _, _ = plan_for("apsi")  # CBR, MBR, RBR all applicable
+        assert plan.applicable == ("CBR", "MBR", "RBR")
+        assert plan.next_method("CBR") == "MBR"
+        assert plan.next_method("MBR") == "RBR"
+        assert plan.next_method("RBR") is None
+
+    def test_mbr_plan_carries_instrumented_fn(self):
+        plan, w, _ = plan_for("mgrid")
+        assert plan.instrumented_fn is not None
+        assert "__counters" in plan.instrumented_fn.all_vars()
+        assert plan.avg_counts is not None
+        assert len(plan.avg_counts) == len(plan.component_model.components) + 1
+
+
+class TestSelector:
+    def _profiles(self):
+        w_big = get_workload("swim")
+        w_small = get_workload("mesa")
+        big = profile_tuning_section(
+            w_big.ts, w_big.profile_invocations("train", limit=40), SPARC2
+        )
+        small = profile_tuning_section(
+            w_small.ts, w_small.profile_invocations("train", limit=40), SPARC2
+        )
+        return {"calc3": big, "sample_1d_linear": small}
+
+    def test_most_time_consuming_selected_first(self):
+        profiles = self._profiles()
+        selected = select_tuning_sections(profiles, coverage=0.5)
+        assert selected[0].name == "calc3"
+
+    def test_coverage_extends_selection(self):
+        profiles = self._profiles()
+        all_selected = select_tuning_sections(profiles, coverage=1.0, min_share=0.0)
+        assert [s.name for s in all_selected] == ["calc3", "sample_1d_linear"]
+
+    def test_min_share_filters_tiny_sections(self):
+        profiles = self._profiles()
+        selected = select_tuning_sections(profiles, coverage=1.0, min_share=0.5)
+        assert [s.name for s in selected] == ["calc3"]
+
+    def test_max_sections_cap(self):
+        profiles = self._profiles()
+        selected = select_tuning_sections(
+            profiles, coverage=1.0, min_share=0.0, max_sections=1
+        )
+        assert len(selected) == 1
+
+    def test_empty_profiles(self):
+        assert select_tuning_sections({}) == []
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            select_tuning_sections({}, coverage=0.0)
+
+    def test_shares_sum_to_one(self):
+        profiles = self._profiles()
+        selected = select_tuning_sections(profiles, coverage=1.0, min_share=0.0)
+        assert sum(s.time_share for s in selected) == pytest.approx(1.0)
+
+
+SMALL_FLAGS = ("schedule-insns", "strict-aliasing", "guess-branch-probability",
+               "gcse", "if-conversion")
+
+
+class TestPeakTuner:
+    def test_tunes_swim_with_cbr(self):
+        w = get_workload("swim")
+        tuner = PeakTuner(PENTIUM4, seed=1, profile_limit=60)
+        res = tuner.tune(w, flags=SMALL_FLAGS)
+        assert res.method_used == "CBR"
+        assert res.workload == "swim"
+        # schedule-insns spills on P4 for this kernel: it must be removed
+        assert "schedule-insns" not in res.best_config
+
+    def test_tuned_config_improves_ref_performance(self):
+        w = get_workload("swim")
+        tuner = PeakTuner(PENTIUM4, seed=1, profile_limit=60)
+        res = tuner.tune(w, flags=SMALL_FLAGS)
+        imp = evaluate_speedup(w, res.best_config, PENTIUM4, runs=1)
+        assert imp > 3.0
+
+    def test_art_finds_strict_aliasing_on_p4(self):
+        w = get_workload("art")
+        tuner = PeakTuner(PENTIUM4, seed=1, profile_limit=60)
+        res = tuner.tune(w, flags=SMALL_FLAGS)
+        assert res.method_used == "RBR"
+        assert "strict-aliasing" not in res.best_config
+        imp = evaluate_speedup(w, res.best_config, PENTIUM4, runs=1)
+        assert imp > 80.0  # the headline effect
+
+    def test_forced_method_whl(self):
+        w = get_workload("swim")
+        tuner = PeakTuner(SPARC2, seed=1, profile_limit=60)
+        res = tuner.tune(w, method="WHL", flags=("schedule-insns", "gcse"))
+        assert res.method_used == "WHL"
+        # WHL consumed at least one full program run per rating
+        assert res.ledger.program_runs >= res.n_versions_rated
+
+    def test_forced_method_avg(self):
+        w = get_workload("swim")
+        tuner = PeakTuner(SPARC2, seed=1, profile_limit=60)
+        res = tuner.tune(w, method="AVG", flags=("schedule-insns", "gcse"))
+        assert res.method_used == "AVG"
+
+    def test_forcing_cbr_on_irregular_raises(self):
+        w = get_workload("bzip2")
+        tuner = PeakTuner(SPARC2, seed=1, profile_limit=40)
+        with pytest.raises(ValueError, match="CBR forced"):
+            tuner.tune(w, method="CBR", flags=("gcse",))
+
+    def test_ledger_accounts_all_activity(self):
+        w = get_workload("swim")
+        tuner = PeakTuner(SPARC2, seed=1, profile_limit=60)
+        res = tuner.tune(w, flags=("gcse", "schedule-insns"))
+        assert res.ledger.total_cycles > 0
+        assert res.ledger.program_runs > 0
+        assert "ts" in res.ledger.by_category
+        assert "non_ts" in res.ledger.by_category
+
+    def test_pluggable_search(self):
+        w = get_workload("swim")
+        tuner = PeakTuner(
+            PENTIUM4, seed=1, profile_limit=60, search=BatchElimination()
+        )
+        res = tuner.tune(w, flags=SMALL_FLAGS)
+        assert res.search.algorithm == "BE"
+        assert "schedule-insns" not in res.best_config
+
+    def test_rbr_cheaper_than_whl_on_tuning_time(self):
+        """The paper's tuning-time claim on one benchmark: the consultant's
+        method tunes with far fewer cycles than whole-program rating."""
+        w = get_workload("art")
+        flags = ("strict-aliasing", "schedule-insns", "gcse")
+        auto = PeakTuner(PENTIUM4, seed=1, profile_limit=60).tune(w, flags=flags)
+        whl = PeakTuner(PENTIUM4, seed=1, profile_limit=60).tune(
+            w, method="WHL", flags=flags
+        )
+        assert auto.tuning_cycles < 0.5 * whl.tuning_cycles
+
+
+class TestMeasurement:
+    def test_measure_whole_program_deterministic(self):
+        w = get_workload("swim")
+        a = measure_whole_program(w, OptConfig.o3(), SPARC2, "train", runs=1)
+        b = measure_whole_program(w, OptConfig.o3(), SPARC2, "train", runs=1)
+        assert a == pytest.approx(b)
+
+    def test_speedup_of_o3_vs_itself_zero(self):
+        w = get_workload("swim")
+        imp = evaluate_speedup(w, OptConfig.o3(), SPARC2, "train", runs=1)
+        assert imp == pytest.approx(0.0, abs=0.2)

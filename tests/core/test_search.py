@@ -1,0 +1,194 @@
+"""Tests for the search algorithms over a synthetic rating oracle."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import OptConfig
+from repro.core.search import (
+    BatchElimination,
+    ExhaustiveSearch,
+    FractionalFactorial,
+    GreedyConstruction,
+    IterativeElimination,
+    RandomSearch,
+)
+
+FLAGS = ("gcse", "schedule-insns", "strict-aliasing", "if-conversion", "peephole2")
+
+
+def make_oracle(effects: dict[str, float], interactions=None, noise=0.0, seed=0):
+    """A deterministic speed model: time = prod of per-flag factors.
+
+    *effects* maps flag -> multiplicative time factor when ON (<1 helps,
+    >1 hurts).  *interactions* maps frozenset({a, b}) -> extra factor when
+    both are on.  The returned rate(candidate, reference) gives relative
+    speed of candidate vs reference, with optional measurement noise.
+    """
+    interactions = interactions or {}
+    rng = np.random.default_rng(seed)
+
+    def time_of(config: OptConfig) -> float:
+        t = 1000.0
+        for f, mult in effects.items():
+            if f in config:
+                t *= mult
+        for pair, mult in interactions.items():
+            if all(f in config for f in pair):
+                t *= mult
+        return t
+
+    def rate(candidate: OptConfig, reference: OptConfig) -> float:
+        speed = time_of(reference) / time_of(candidate)
+        if noise:
+            speed *= 1.0 + float(rng.normal(0.0, noise))
+        return speed
+
+    return rate, time_of
+
+
+class TestIterativeElimination:
+    def test_removes_single_harmful_flag(self):
+        rate, _ = make_oracle({"strict-aliasing": 1.5, "gcse": 0.8})
+        ie = IterativeElimination()
+        res = ie.search(rate, FLAGS, OptConfig.o3())
+        assert "strict-aliasing" not in res.best_config
+        assert "gcse" in res.best_config
+
+    def test_removes_multiple_harmful_flags_worst_first(self):
+        rate, _ = make_oracle({"strict-aliasing": 2.0, "if-conversion": 1.2})
+        res = IterativeElimination().search(rate, FLAGS, OptConfig.o3())
+        assert "strict-aliasing" not in res.best_config
+        assert "if-conversion" not in res.best_config
+        # worst flag is measured against O3 and removed in round one
+        round1 = [m for m in res.measurements if m.reference == OptConfig.o3()]
+        removed_first = max(round1, key=lambda m: m.speed).candidate
+        assert "strict-aliasing" not in removed_first
+
+    def test_no_removal_when_all_help(self):
+        rate, _ = make_oracle({f: 0.9 for f in FLAGS})
+        res = IterativeElimination().search(rate, FLAGS, OptConfig.o3())
+        assert res.best_config == OptConfig.o3()
+        # exactly one round of n ratings (O(n) when nothing is harmful)
+        assert res.n_ratings == len(FLAGS)
+
+    def test_quadratic_bound(self):
+        rate, _ = make_oracle({f: 1.1 for f in FLAGS})
+        res = IterativeElimination().search(rate, FLAGS, OptConfig.o3())
+        n = len(FLAGS)
+        assert res.n_ratings <= n * (n + 1)
+
+    def test_respects_margin(self):
+        rate, _ = make_oracle({"gcse": 1.004})  # below the 2% margin
+        res = IterativeElimination(improvement_margin=0.02).search(
+            rate, FLAGS, OptConfig.o3()
+        )
+        assert "gcse" in res.best_config
+
+    def test_interaction_handled_iteratively(self):
+        # A alone is fine, B alone is fine, together they hurt: IE removes
+        # exactly one of them
+        inter = {frozenset({"gcse", "schedule-insns"}): 1.5}
+        rate, time_of = make_oracle({}, interactions=inter)
+        res = IterativeElimination().search(rate, FLAGS, OptConfig.o3())
+        both = {"gcse", "schedule-insns"}
+        assert len(both - set(res.best_config.enabled)) == 1
+
+    def test_max_rounds_cap(self):
+        rate, _ = make_oracle({f: 1.5 for f in FLAGS})
+        res = IterativeElimination(max_rounds=1).search(rate, FLAGS, OptConfig.o3())
+        # only one elimination round happened
+        assert len(set(FLAGS) - set(res.best_config.enabled)) == 1
+
+    def test_estimated_speed_tracks_product(self):
+        rate, time_of = make_oracle({"strict-aliasing": 2.0, "if-conversion": 1.25})
+        res = IterativeElimination().search(rate, FLAGS, OptConfig.o3())
+        true_speed = time_of(OptConfig.o3()) / time_of(res.best_config)
+        assert res.est_speed_vs_start == pytest.approx(true_speed, rel=0.01)
+
+
+class TestExhaustive:
+    def test_finds_global_optimum_with_interactions(self):
+        inter = {frozenset({"gcse", "schedule-insns"}): 1.4}
+        effects = {"gcse": 0.9, "schedule-insns": 0.95, "strict-aliasing": 1.2}
+        rate, time_of = make_oracle(effects, interactions=inter)
+        res = ExhaustiveSearch().search(rate, FLAGS, OptConfig.o3())
+        times = {}
+        from itertools import combinations
+
+        best_time = min(
+            time_of(OptConfig.o3().without(*off))
+            for r in range(len(FLAGS) + 1)
+            for off in combinations(FLAGS, r)
+        )
+        assert time_of(res.best_config) == pytest.approx(best_time)
+
+    def test_rejects_large_spaces(self):
+        rate, _ = make_oracle({})
+        with pytest.raises(ValueError):
+            ExhaustiveSearch(max_flags=3).search(rate, FLAGS, OptConfig.o3())
+
+
+class TestBatchElimination:
+    def test_single_pass_removal(self):
+        rate, _ = make_oracle({"strict-aliasing": 1.5, "if-conversion": 1.2})
+        res = BatchElimination().search(rate, FLAGS, OptConfig.o3())
+        assert "strict-aliasing" not in res.best_config
+        assert "if-conversion" not in res.best_config
+        # n individual ratings + 1 final
+        assert res.n_ratings == len(FLAGS) + 1
+
+    def test_blind_to_interactions(self):
+        # removing either of the pair helps, removing both is neutral-bad;
+        # BE removes both (it cannot see the interaction), IE removes one
+        inter = {frozenset({"gcse", "schedule-insns"}): 1.5}
+        effects = {"gcse": 0.8, "schedule-insns": 0.8}
+        rate, time_of = make_oracle(effects, interactions=inter)
+        be = BatchElimination().search(rate, FLAGS, OptConfig.o3())
+        ie = IterativeElimination().search(rate, FLAGS, OptConfig.o3())
+        assert time_of(ie.best_config) <= time_of(be.best_config)
+
+
+class TestRandomSearch:
+    def test_finds_improvement(self):
+        rate, _ = make_oracle({"strict-aliasing": 2.0})
+        res = RandomSearch(n_samples=40, seed=1).search(rate, FLAGS, OptConfig.o3())
+        assert "strict-aliasing" not in res.best_config
+
+    def test_rating_budget(self):
+        rate, _ = make_oracle({})
+        res = RandomSearch(n_samples=17).search(rate, FLAGS, OptConfig.o3())
+        assert res.n_ratings == 17
+
+
+class TestFractionalFactorial:
+    def test_main_effects_found(self):
+        rate, _ = make_oracle(
+            {"strict-aliasing": 1.6, "if-conversion": 1.3, "gcse": 0.8}
+        )
+        res = FractionalFactorial(seed=3).search(rate, FLAGS, OptConfig.o3())
+        assert "strict-aliasing" not in res.best_config
+        assert "if-conversion" not in res.best_config
+        assert "gcse" in res.best_config
+
+    def test_linear_budget(self):
+        rate, _ = make_oracle({"gcse": 1.5})
+        res = FractionalFactorial(runs_factor=2.0).search(rate, FLAGS, OptConfig.o3())
+        assert res.n_ratings <= 2 * len(FLAGS) + 2
+
+
+class TestGreedyConstruction:
+    def test_builds_up_helpful_flags(self):
+        rate, _ = make_oracle({"gcse": 0.7, "peephole2": 0.9, "strict-aliasing": 1.4})
+        res = GreedyConstruction().search(rate, FLAGS, OptConfig.o3())
+        assert "gcse" in res.best_config
+        assert "peephole2" in res.best_config
+        assert "strict-aliasing" not in res.best_config
+
+
+class TestNoiseRobustness:
+    def test_ie_with_mild_noise_still_finds_big_effect(self):
+        rate, _ = make_oracle({"strict-aliasing": 1.8}, noise=0.01, seed=7)
+        res = IterativeElimination().search(rate, FLAGS, OptConfig.o3())
+        assert "strict-aliasing" not in res.best_config
+        # noise below the margin must not trigger spurious removals
+        assert len(set(FLAGS) - set(res.best_config.enabled)) <= 2

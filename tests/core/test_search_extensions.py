@@ -1,0 +1,96 @@
+"""Tests for the CE and OSE search extensions."""
+
+import pytest
+
+from repro.compiler import OptConfig
+from repro.core.search import (
+    CombinedElimination,
+    IterativeElimination,
+    OptimizationSpaceExploration,
+)
+from repro.core.search.ose import DEFAULT_DELTAS
+
+from .test_search import FLAGS, make_oracle
+
+
+class TestCombinedElimination:
+    def test_removes_harmful_flags(self):
+        rate, _ = make_oracle({"strict-aliasing": 1.5, "if-conversion": 1.2})
+        res = CombinedElimination().search(rate, FLAGS, OptConfig.o3())
+        assert "strict-aliasing" not in res.best_config
+        assert "if-conversion" not in res.best_config
+
+    def test_keeps_helpful_flags(self):
+        rate, _ = make_oracle({"gcse": 0.8})
+        res = CombinedElimination().search(rate, FLAGS, OptConfig.o3())
+        assert "gcse" in res.best_config
+
+    def test_cheaper_than_ie(self):
+        effects = {f: 1.1 for f in FLAGS}
+        rate_ce, _ = make_oracle(effects)
+        rate_ie, _ = make_oracle(effects)
+        ce = CombinedElimination().search(rate_ce, FLAGS, OptConfig.o3())
+        ie = IterativeElimination().search(rate_ie, FLAGS, OptConfig.o3())
+        assert ce.n_ratings <= ie.n_ratings
+        # same quality on an interaction-free space
+        assert ce.best_config == ie.best_config
+
+    def test_interaction_awareness(self):
+        # two flags whose *joint* removal hurts: CE re-tests after each
+        # removal, so it must not blindly drop both like BE would
+        inter = {frozenset({"gcse", "schedule-insns"}): 1.4}
+        effects = {"gcse": 0.85, "schedule-insns": 0.85}
+        rate, time_of = make_oracle(effects, interactions=inter)
+        res = CombinedElimination().search(rate, FLAGS, OptConfig.o3())
+        assert time_of(res.best_config) <= time_of(OptConfig.o3())
+
+    def test_no_removal_single_pass(self):
+        rate, _ = make_oracle({f: 0.95 for f in FLAGS})
+        res = CombinedElimination().search(rate, FLAGS, OptConfig.o3())
+        assert res.best_config == OptConfig.o3()
+        assert res.n_ratings == len(FLAGS)
+
+
+class TestOSE:
+    def test_delta_library_names_valid_flags(self):
+        from repro.compiler import FLAGS_BY_NAME
+
+        for group in DEFAULT_DELTAS.values():
+            for f in group:
+                assert f in FLAGS_BY_NAME
+
+    def test_finds_harmful_group(self):
+        rate, _ = make_oracle({"strict-aliasing": 1.6})
+        res = OptimizationSpaceExploration().search(rate, FLAGS, OptConfig.o3())
+        assert "strict-aliasing" not in res.best_config
+
+    def test_combines_deltas_across_generations(self):
+        rate, time_of = make_oracle(
+            {"strict-aliasing": 1.4, "schedule-insns": 1.3}
+        )
+        res = OptimizationSpaceExploration(generations=3).search(
+            rate, FLAGS, OptConfig.o3()
+        )
+        assert "strict-aliasing" not in res.best_config
+        assert "schedule-insns" not in res.best_config
+
+    def test_returns_start_when_nothing_helps(self):
+        rate, _ = make_oracle({f: 0.9 for f in FLAGS})
+        res = OptimizationSpaceExploration().search(rate, FLAGS, OptConfig.o3())
+        assert res.best_config == OptConfig.o3()
+        assert res.est_speed_vs_start == 1.0
+
+    def test_restricted_flag_space(self):
+        rate, _ = make_oracle({"gcse": 1.5})
+        res = OptimizationSpaceExploration().search(
+            rate, ("gcse", "strict-aliasing"), OptConfig.o3()
+        )
+        assert "gcse" not in res.best_config
+        # flags outside the searched space stay untouched
+        assert "peephole2" in res.best_config
+
+    def test_bounded_budget(self):
+        rate, _ = make_oracle({})
+        ose = OptimizationSpaceExploration(beam_width=2, generations=2)
+        res = ose.search(rate, FLAGS, OptConfig.o3())
+        assert res.n_ratings <= 2 + 2 * 2 * len(DEFAULT_DELTAS)

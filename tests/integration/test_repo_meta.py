@@ -1,0 +1,60 @@
+"""Repository-level meta tests: deliverable structure and documentation."""
+
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestDeliverables:
+    def test_docs_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            assert (ROOT / name).is_file(), name
+
+    def test_design_confirms_paper_identity(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        assert "Pan" in text and "Eigenmann" in text
+        assert "SC 2004" in text
+        assert "No title collision" in text
+
+    def test_examples_present_and_runnable_shape(self):
+        examples = sorted((ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 4
+        for ex in examples:
+            src = ex.read_text()
+            assert '__main__' in src, ex.name
+            assert src.startswith("#!/usr/bin/env python"), ex.name
+
+    def test_quickstart_example_exists(self):
+        assert (ROOT / "examples" / "quickstart.py").is_file()
+
+    def test_benchmarks_cover_every_paper_artifact(self):
+        benches = {p.name for p in (ROOT / "benchmarks").glob("test_bench_*.py")}
+        # one bench per table/figure + headline + ablations (DESIGN.md index)
+        assert "test_bench_table1_consistency.py" in benches
+        assert "test_bench_fig7_performance.py" in benches
+        assert "test_bench_fig7_tuning_time.py" in benches
+        assert "test_bench_headline_summary.py" in benches
+        assert "test_bench_mbr_example.py" in benches
+        assert "test_bench_ablation_rbr.py" in benches
+        assert "test_bench_ablation_switching.py" in benches
+        assert "test_bench_ablation_search.py" in benches
+
+    def test_experiments_md_records_measured_numbers(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        assert "161" in text  # measured ART max improvement
+        assert "178" in text  # paper's number, for comparison
+        for artifact in ("Table 1", "Figure 7", "Fig. 2"):
+            assert artifact in text
+
+    def test_public_api_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_package_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,210 @@
+"""Unit tests for the structured CFG builder."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef,
+    CondBranch,
+    FunctionBuilder,
+    Jump,
+    Return,
+    Type,
+    Var,
+    validate_function,
+)
+
+
+def build_saxpy():
+    b = FunctionBuilder(
+        "saxpy",
+        [
+            ("n", Type.INT),
+            ("a", Type.FLOAT),
+            ("x", Type.FLOAT_ARRAY),
+            ("y", Type.FLOAT_ARRAY),
+        ],
+    )
+    with b.for_("i", 0, b.var("n")) as i:
+        b.store("y", i, Var("a") * ArrayRef("x", i) + ArrayRef("y", i))
+    b.ret()
+    return b.build()
+
+
+class TestBasicConstruction:
+    def test_saxpy_validates(self):
+        fn = build_saxpy()
+        validate_function(fn)
+
+    def test_induction_var_auto_declared(self):
+        fn = build_saxpy()
+        assert fn.locals["i"] is Type.INT
+
+    def test_loop_produces_header_body_latch_exit(self):
+        fn = build_saxpy()
+        labels = set(fn.cfg.blocks)
+        assert any(l.startswith("loop_header") for l in labels)
+        assert any(l.startswith("loop_body") for l in labels)
+        assert any(l.startswith("loop_latch") for l in labels)
+        assert any(l.startswith("loop_exit") for l in labels)
+
+    def test_header_is_condbranch(self):
+        fn = build_saxpy()
+        hdr = next(b for l, b in fn.cfg.blocks.items() if l.startswith("loop_header"))
+        assert isinstance(hdr.terminator, CondBranch)
+
+    def test_open_function_gets_implicit_return(self):
+        b = FunctionBuilder("f", [("x", Type.INT)])
+        b.assign("y", b.var("x") + 1)
+        b.local("y", Type.INT)
+        fn = b.build()
+        validate_function(fn)
+        assert any(
+            isinstance(blk.terminator, Return) for blk in fn.cfg.blocks.values()
+        )
+
+
+class TestIfElse:
+    def test_if_without_else(self):
+        b = FunctionBuilder("f", [("x", Type.INT)])
+        b.local("y", Type.INT)
+        b.assign("y", 0)
+        with b.if_(b.var("x") > 0):
+            b.assign("y", 1)
+        b.ret(b.var("y"))
+        fn = b.build()
+        validate_function(fn)
+
+    def test_if_with_else(self):
+        b = FunctionBuilder("f", [("x", Type.INT)], return_type=Type.INT)
+        b.local("y", Type.INT)
+        with b.if_(b.var("x") > 0):
+            b.assign("y", 1)
+        with b.orelse():
+            b.assign("y", 2)
+        b.ret(b.var("y"))
+        fn = b.build()
+        validate_function(fn)
+
+    def test_orelse_without_if_raises(self):
+        b = FunctionBuilder("f", [("x", Type.INT)])
+        with pytest.raises(RuntimeError):
+            with b.orelse():
+                pass
+
+    def test_orelse_after_statement_raises(self):
+        b = FunctionBuilder("f", [("x", Type.INT)])
+        b.local("y", Type.INT)
+        with b.if_(b.var("x") > 0):
+            b.assign("y", 1)
+        b.assign("y", 3)  # invalidates the pending else
+        with pytest.raises(RuntimeError):
+            with b.orelse():
+                pass
+
+    def test_nested_if(self):
+        b = FunctionBuilder("f", [("x", Type.INT)], return_type=Type.INT)
+        b.local("y", Type.INT)
+        b.assign("y", 0)
+        with b.if_(b.var("x") > 0):
+            with b.if_(b.var("x") > 10):
+                b.assign("y", 2)
+            with b.orelse():
+                b.assign("y", 1)
+        b.ret(b.var("y"))
+        fn = b.build()
+        validate_function(fn)
+
+
+class TestLoops:
+    def test_while_loop(self):
+        b = FunctionBuilder("f", [("n", Type.INT)])
+        b.local("i", Type.INT)
+        b.assign("i", 0)
+        with b.while_(b.var("i") < b.var("n")):
+            b.assign("i", b.var("i") + 1)
+        b.ret(b.var("i"))
+        fn = b.build()
+        validate_function(fn)
+
+    def test_break_targets_loop_exit(self):
+        b = FunctionBuilder("f", [("n", Type.INT)])
+        with b.for_("i", 0, b.var("n")) as i:
+            with b.if_(i > 5):
+                b.break_()
+        b.ret()
+        fn = b.build()
+        validate_function(fn)
+
+    def test_continue_targets_latch(self):
+        b = FunctionBuilder("f", [("n", Type.INT)])
+        b.local("s", Type.INT)
+        b.assign("s", 0)
+        with b.for_("i", 0, b.var("n")) as i:
+            with b.if_(i % 2 == 0 if False else (i % 2) < 1):
+                b.continue_()
+            b.assign("s", b.var("s") + i)
+        b.ret(b.var("s"))
+        fn = b.build()
+        validate_function(fn)
+
+    def test_break_outside_loop_raises(self):
+        b = FunctionBuilder("f", [("n", Type.INT)])
+        with pytest.raises(RuntimeError):
+            b.break_()
+
+    def test_continue_outside_loop_raises(self):
+        b = FunctionBuilder("f", [("n", Type.INT)])
+        with pytest.raises(RuntimeError):
+            b.continue_()
+
+    def test_zero_step_rejected(self):
+        b = FunctionBuilder("f", [("n", Type.INT)])
+        with pytest.raises(ValueError):
+            with b.for_("i", 0, 10, step=0):
+                pass
+
+    def test_negative_step_builds_descending_loop(self):
+        b = FunctionBuilder("f", [("n", Type.INT)])
+        with b.for_("i", b.var("n"), 0, step=-1):
+            pass
+        b.ret()
+        fn = b.build()
+        validate_function(fn)
+        hdr = next(b_ for l, b_ in fn.cfg.blocks.items() if l.startswith("loop_header"))
+        assert hdr.terminator.cond.op == ">"
+
+    def test_nested_loops(self):
+        b = FunctionBuilder("f", [("n", Type.INT), ("m", Type.INT)])
+        b.local("s", Type.INT)
+        b.assign("s", 0)
+        with b.for_("i", 0, b.var("n")) as i:
+            with b.for_("j", 0, b.var("m")) as j:
+                b.assign("s", b.var("s") + i * j)
+        b.ret(b.var("s"))
+        fn = b.build()
+        validate_function(fn)
+
+
+class TestDeclarations:
+    def test_local_shadowing_param_raises(self):
+        b = FunctionBuilder("f", [("x", Type.INT)])
+        with pytest.raises(ValueError):
+            b.local("x", Type.FLOAT)
+
+    def test_local_redeclared_same_type_ok(self):
+        b = FunctionBuilder("f", [("x", Type.INT)])
+        b.local("y", Type.INT)
+        b.local("y", Type.INT)
+
+    def test_local_redeclared_other_type_raises(self):
+        b = FunctionBuilder("f", [("x", Type.INT)])
+        b.local("y", Type.INT)
+        with pytest.raises(ValueError):
+            b.local("y", Type.FLOAT)
+
+    def test_build_with_open_loop_raises(self):
+        b = FunctionBuilder("f", [("n", Type.INT)])
+        ctx = b.for_("i", 0, b.var("n"))
+        ctx.__enter__()
+        with pytest.raises(RuntimeError):
+            b.build()

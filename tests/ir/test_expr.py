@@ -1,0 +1,121 @@
+"""Unit tests for IR expression trees."""
+
+import pytest
+
+from repro.ir import ArrayRef, BinOp, Call, Const, UnOp, Var, eq, ne, walk
+from repro.ir.expr import COMMUTATIVE_OPS, _wrap
+
+
+class TestConstruction:
+    def test_const_holds_value(self):
+        assert Const(3).value == 3
+        assert Const(2.5).value == 2.5
+
+    def test_binop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            BinOp("@@", Const(1), Const(2))
+
+    def test_unop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            UnOp("+", Const(1))
+
+    def test_call_rejects_unknown_intrinsic(self):
+        with pytest.raises(ValueError):
+            Call("frobnicate", (Const(1),))
+
+    def test_call_normalizes_args_to_tuple(self):
+        c = Call("sqrt", [Const(2)])
+        assert isinstance(c.args, tuple)
+
+    def test_wrap_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            _wrap("not an expr")
+
+
+class TestOperatorSugar:
+    def test_add_builds_binop(self):
+        e = Var("i") + 1
+        assert e == BinOp("+", Var("i"), Const(1))
+
+    def test_radd(self):
+        assert 1 + Var("i") == BinOp("+", Const(1), Var("i"))
+
+    def test_sub_mul_div(self):
+        assert Var("a") - Var("b") == BinOp("-", Var("a"), Var("b"))
+        assert Var("a") * 2 == BinOp("*", Var("a"), Const(2))
+        assert Var("a") / 2 == BinOp("/", Var("a"), Const(2))
+        assert Var("a") // 2 == BinOp("//", Var("a"), Const(2))
+        assert Var("a") % 2 == BinOp("%", Var("a"), Const(2))
+
+    def test_comparisons(self):
+        assert (Var("i") < 10) == BinOp("<", Var("i"), Const(10))
+        assert (Var("i") >= Var("n")) == BinOp(">=", Var("i"), Var("n"))
+
+    def test_eq_helper_builds_comparison_not_bool(self):
+        e = eq(Var("i"), 0)
+        assert isinstance(e, BinOp) and e.op == "=="
+        e2 = ne(Var("i"), 0)
+        assert isinstance(e2, BinOp) and e2.op == "!="
+
+    def test_structural_equality_is_preserved(self):
+        # == on Expr values compares structure (dataclass equality).
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_neg(self):
+        assert -Var("x") == UnOp("-", Var("x"))
+
+    def test_bitwise(self):
+        assert (Var("x") & 3) == BinOp("&", Var("x"), Const(3))
+        assert (Var("x") | 3) == BinOp("|", Var("x"), Const(3))
+        assert (Var("x") ^ 3) == BinOp("^", Var("x"), Const(3))
+        assert (Var("x") << 1) == BinOp("<<", Var("x"), Const(1))
+        assert (Var("x") >> 1) == BinOp(">>", Var("x"), Const(1))
+
+
+class TestReads:
+    def test_var_is_scalar_read(self):
+        assert Var("n").scalar_reads() == {"n"}
+        assert Var("n").array_reads() == frozenset()
+
+    def test_arrayref_reads_array_and_index(self):
+        e = ArrayRef("a", Var("i") + 1)
+        assert e.array_reads() == {"a"}
+        assert e.scalar_reads() == {"i"}
+        assert e.reads() == {"a", "i"}
+
+    def test_nested_reads(self):
+        e = ArrayRef("a", ArrayRef("idx", Var("i"))) * Var("s")
+        assert e.array_reads() == {"a", "idx"}
+        assert e.scalar_reads() == {"i", "s"}
+
+    def test_const_reads_nothing(self):
+        assert Const(1).reads() == frozenset()
+
+    def test_call_reads_args(self):
+        e = Call("sqrt", (Var("x") + ArrayRef("a", Const(0)),))
+        assert e.reads() == {"x", "a"}
+
+
+class TestWalk:
+    def test_walk_preorder(self):
+        e = (Var("a") + Var("b")) * Const(2)
+        nodes = list(walk(e))
+        assert nodes[0] is e
+        assert Var("a") in nodes and Var("b") in nodes and Const(2) in nodes
+        assert len(nodes) == 5
+
+    def test_commutative_set_sane(self):
+        assert "+" in COMMUTATIVE_OPS and "-" not in COMMUTATIVE_OPS
+        assert "*" in COMMUTATIVE_OPS and "/" not in COMMUTATIVE_OPS
+
+
+class TestHashability:
+    def test_exprs_are_hashable_for_value_numbering(self):
+        seen = {Var("x") + 1: "a"}
+        assert seen[Var("x") + 1] == "a"
+
+    def test_str_rendering(self):
+        assert str(Var("i") + 1) == "(i + 1)"
+        assert str(ArrayRef("a", Var("i"))) == "a[i]"
+        assert str(Call("sqrt", (Var("x"),))) == "sqrt(x)"

@@ -1,0 +1,97 @@
+"""Tests for Function/Program containers and IR pretty-printing."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef,
+    FunctionBuilder,
+    Param,
+    Program,
+    Type,
+    Var,
+)
+
+
+def sample_fn():
+    b = FunctionBuilder(
+        "saxpy",
+        [("n", Type.INT), ("a", Type.FLOAT), ("x", Type.FLOAT_ARRAY)],
+        return_type=Type.FLOAT,
+    )
+    b.local("acc", Type.FLOAT)
+    b.assign("acc", 0.0)
+    with b.for_("i", 0, b.var("n")) as i:
+        b.assign("acc", b.var("acc") + Var("a") * ArrayRef("x", i))
+    b.ret(b.var("acc"))
+    return b.build()
+
+
+class TestFunction:
+    def test_param_queries(self):
+        fn = sample_fn()
+        assert fn.param_names() == ["n", "a", "x"]
+        assert fn.param_types()["x"] is Type.FLOAT_ARRAY
+        assert fn.scalar_params() == ["n", "a"]
+        assert fn.array_params() == ["x"]
+
+    def test_var_type_lookup(self):
+        fn = sample_fn()
+        assert fn.var_type("n") is Type.INT
+        assert fn.var_type("acc") is Type.FLOAT
+        with pytest.raises(KeyError):
+            fn.var_type("ghost")
+
+    def test_all_vars_merges_params_and_locals(self):
+        fn = sample_fn()
+        av = fn.all_vars()
+        assert "n" in av and "acc" in av and "i" in av
+
+    def test_copy_is_independent(self):
+        fn = sample_fn()
+        cp = fn.copy()
+        cp.locals["extra"] = Type.INT
+        cp.cfg.blocks[cp.cfg.entry].stmts.clear()
+        assert "extra" not in fn.locals
+        assert fn.cfg.blocks[fn.cfg.entry].stmts
+
+    def test_str_rendering(self):
+        text = str(sample_fn())
+        assert "func saxpy(" in text
+        assert "-> float" in text
+        assert "local acc: float" in text
+        assert "entry:" in text
+        assert "return" in text
+
+
+class TestProgram:
+    def test_add_and_lookup(self):
+        prog = Program("p")
+        fn = sample_fn()
+        prog.add(fn)
+        assert prog.function("saxpy") is fn
+
+    def test_copy_deep(self):
+        prog = Program("p")
+        prog.add(sample_fn())
+        cp = prog.copy()
+        cp.functions["saxpy"].locals["zz"] = Type.INT
+        assert "zz" not in prog.functions["saxpy"].locals
+
+    def test_globals_carried(self):
+        prog = Program("p", globals={"g": Type.FLOAT})
+        cp = prog.copy()
+        assert cp.globals == {"g": Type.FLOAT}
+
+    def test_param_is_frozen(self):
+        p = Param("x", Type.INT)
+        with pytest.raises(Exception):
+            p.name = "y"  # type: ignore[misc]
+
+
+class TestBlockPrinting:
+    def test_block_str_contains_statements(self):
+        fn = sample_fn()
+        text = str(fn.cfg)
+        assert "acc = " in text
+        assert "if (" in text  # the loop header condition
+        assert "jump" in text

@@ -1,0 +1,114 @@
+"""Tests for the cache simulator and address map."""
+
+import numpy as np
+import pytest
+
+from repro.machine import AddressMap, CacheSim
+
+
+def small_cache(assoc=2):
+    # 8 lines of 64 bytes, given associativity
+    return CacheSim(size=512, line=64, assoc=assoc, hit_cycles=1.0, miss_cycles=50.0)
+
+
+class TestCacheSim:
+    def test_first_access_misses(self):
+        c = small_cache()
+        assert c.access(0) == 50.0
+        assert c.misses == 1 and c.hits == 0
+
+    def test_second_access_same_line_hits(self):
+        c = small_cache()
+        c.access(0)
+        assert c.access(8) == 1.0  # same 64-byte line
+        assert c.hits == 1
+
+    def test_different_lines_miss(self):
+        c = small_cache()
+        c.access(0)
+        assert c.access(64) == 50.0
+
+    def test_lru_eviction(self):
+        c = small_cache(assoc=2)  # 4 sets
+        # three lines mapping to the same set: line_idx % 4 == 0
+        a, b, d = 0, 4 * 64, 8 * 64
+        c.access(a)
+        c.access(b)
+        c.access(d)  # evicts a (LRU)
+        assert c.access(b) == 1.0  # still resident
+        assert c.access(a) == 50.0  # was evicted
+
+    def test_lru_order_updated_on_hit(self):
+        c = small_cache(assoc=2)
+        a, b, d = 0, 4 * 64, 8 * 64
+        c.access(a)
+        c.access(b)
+        c.access(a)  # a is now MRU
+        c.access(d)  # evicts b
+        assert c.access(a) == 1.0
+        assert c.access(b) == 50.0
+
+    def test_flush_cools_cache(self):
+        c = small_cache()
+        c.access(0)
+        c.flush()
+        assert c.access(0) == 50.0
+
+    def test_miss_rate(self):
+        c = small_cache()
+        c.access(0)
+        c.access(0)
+        assert c.miss_rate() == pytest.approx(0.5)
+        c.reset_stats()
+        assert c.miss_rate() == 0.0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheSim(size=100, line=64, assoc=2, hit_cycles=1, miss_cycles=10)
+
+    def test_access_many(self):
+        c = small_cache()
+        total = c.access_many([0, 8, 16])
+        assert total == 52.0  # miss + 2 hits on the same line
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        c = small_cache(assoc=1)  # 8 sets, direct-mapped, 512 B
+        addrs = list(range(0, 4096, 64))  # 64 lines round-robin
+        c.access_many(addrs)
+        c.reset_stats()
+        c.access_many(addrs)  # second sweep still misses everywhere
+        assert c.miss_rate() == 1.0
+
+
+class TestAddressMap:
+    def test_line_aligned_bases(self):
+        amap = AddressMap({"a": 10, "b": 20}, line=64)
+        assert amap.bases["a"] % 64 == 0
+        assert amap.bases["b"] % 64 == 0
+
+    def test_arrays_do_not_overlap(self):
+        amap = AddressMap({"a": 100, "b": 100}, line=64)
+        a0, a_end = amap.address("a", 0), amap.address("a", 99)
+        b0, b_end = amap.address("b", 0), amap.address("b", 99)
+        assert a_end < b0 or b_end < a0
+
+    def test_address_arithmetic(self):
+        amap = AddressMap({"a": 10}, line=64)
+        assert amap.address("a", 3) - amap.address("a", 0) == 24
+
+    def test_for_env_ignores_scalars(self):
+        env = {"n": 5, "a": np.zeros(10)}
+        amap = AddressMap.for_env(env)
+        assert "a" in amap.bases and "n" not in amap.bases
+
+    def test_for_env_aliases_share_base(self):
+        arr = np.zeros(16)
+        env = {"p": arr, "a": arr, "b": np.zeros(16)}
+        amap = AddressMap.for_env(env)
+        assert amap.bases["p"] == amap.bases["a"]
+        assert amap.bases["b"] != amap.bases["a"]
+
+    def test_deterministic_layout(self):
+        m1 = AddressMap({"x": 5, "y": 7}, line=32)
+        m2 = AddressMap({"y": 7, "x": 5}, line=32)
+        assert m1.bases == m2.bases

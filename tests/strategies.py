@@ -1,0 +1,112 @@
+"""Hypothesis strategies for random IR programs.
+
+Generates small structured kernels (loops, branches, scalar and array
+arithmetic) used by the property-based tests: analyses must hold their
+invariants and the optimizer must preserve semantics on *arbitrary*
+programs, not just the hand-written workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.ir import ArrayRef, Const, FunctionBuilder, Type, Var, eq
+
+SCALARS = ("n", "k", "s", "t")
+ARRAYS = ("a", "b")
+ARRAY_SIZE = 16
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    """Integer-valued expressions over the fixed variable set."""
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return Const(draw(st.integers(-4, 8)))
+        if choice == 1:
+            return Var(draw(st.sampled_from(SCALARS)))
+        idx = draw(st.integers(0, ARRAY_SIZE - 1))
+        return ArrayRef(draw(st.sampled_from(ARRAYS)), Const(idx))
+    op = draw(st.sampled_from(["+", "-", "*", "min", "max"]))
+    left = draw(int_exprs(depth=depth + 1))
+    right = draw(int_exprs(depth=depth + 1))
+    from repro.ir import BinOp
+
+    return BinOp(op, left, right)
+
+
+@st.composite
+def conditions(draw):
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    from repro.ir import BinOp
+
+    return BinOp(op, draw(int_exprs()), draw(int_exprs()))
+
+
+@st.composite
+def kernels(draw, max_stmts=6):
+    """A random function over 4 int scalars and 2 int arrays."""
+    b = FunctionBuilder(
+        "rand_kernel",
+        [
+            ("n", Type.INT),
+            ("k", Type.INT),
+            ("s", Type.INT),
+            ("t", Type.INT),
+            ("a", Type.INT_ARRAY),
+            ("b", Type.INT_ARRAY),
+        ],
+        return_type=Type.INT,
+    )
+
+    def emit_block(depth: int) -> None:
+        n_stmts = draw(st.integers(1, max_stmts))
+        for _ in range(n_stmts):
+            kind = draw(st.integers(0, 5 if depth < 2 else 3))
+            if kind in (0, 1):  # scalar assign
+                target = draw(st.sampled_from(("s", "t", "k")))
+                b.assign(target, draw(int_exprs()))
+            elif kind == 2:  # array store (index bounded via %)
+                arr = draw(st.sampled_from(ARRAYS))
+                idx_base = draw(int_exprs())
+                safe_idx = (abs_expr(idx_base)) % ARRAY_SIZE
+                b.store(arr, safe_idx, draw(int_exprs()))
+            elif kind == 3:  # if / if-else
+                with b.if_(draw(conditions())):
+                    b.assign(draw(st.sampled_from(("s", "t"))), draw(int_exprs()))
+                if draw(st.booleans()):
+                    with b.orelse():
+                        b.assign(draw(st.sampled_from(("s", "t"))), draw(int_exprs()))
+            elif kind == 4:  # bounded counted loop
+                trip = draw(st.integers(0, 6))
+                var = f"i{depth}"
+                with b.for_(var, 0, trip):
+                    emit_block(depth + 1)
+            else:  # nested structured block
+                with b.if_(draw(conditions())):
+                    emit_block(depth + 1)
+
+    def abs_expr(e):
+        from repro.ir import UnOp
+
+        return UnOp("abs", e)
+
+    emit_block(0)
+    b.ret(Var("s") + Var("t"))
+    return b.build()
+
+
+@st.composite
+def kernel_inputs(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return {
+        "n": int(rng.integers(-3, 10)),
+        "k": int(rng.integers(-5, 10)),
+        "s": int(rng.integers(-5, 10)),
+        "t": int(rng.integers(-5, 10)),
+        "a": rng.integers(-10, 10, size=ARRAY_SIZE),
+        "b": rng.integers(-10, 10, size=ARRAY_SIZE),
+    }
