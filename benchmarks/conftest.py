@@ -9,17 +9,30 @@ Environment knobs:
 
 * ``REPRO_FULL=1``  — also tune with the ref data set (the right bars of
   Fig. 7); default tunes with train only, the paper's appropriate choice.
-* ``REPRO_SAMPLES`` — samples per window for Table 1 (default 10).
+* ``REPRO_SMOKE=1`` — CI smoke mode: fewer consistency samples per window.
+  The Fig. 7 grid itself is never trimmed — every bench's assertions need
+  all four benchmarks and all five rating methods.
+* ``REPRO_SAMPLES`` — samples per window for Table 1 (default 10; 4 in
+  smoke mode).  An explicit value always wins over the smoke default.
+* ``REPRO_BENCH_JSON=1`` — at session end, dump the Fig. 7 entries that
+  were computed to ``BENCH_fig7.json`` (uploaded as a CI artifact next to
+  pytest-benchmark's ``--benchmark-json`` output).
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
+from repro.compiler.flags import ALL_FLAGS
 from repro.experiments import figure7_experiment
 from repro.machine import PENTIUM4, SPARC2
+
+
+def smoke_mode() -> bool:
+    return os.environ.get("REPRO_SMOKE") == "1"
 
 
 def fig7_datasets() -> tuple[str, ...]:
@@ -41,4 +54,42 @@ def fig7_entries(machine_name: str) -> list:
 
 @pytest.fixture(scope="session")
 def samples_per_window() -> int:
-    return int(os.environ.get("REPRO_SAMPLES", "10"))
+    default = "4" if smoke_mode() else "10"
+    return int(os.environ.get("REPRO_SAMPLES", default))
+
+
+def _entry_record(machine_name: str, e) -> dict:
+    return {
+        "machine": machine_name,
+        "benchmark": e.benchmark,
+        "method": e.method,
+        "dataset": e.dataset,
+        "improvement_pct": e.improvement_pct,
+        "tuning_cycles": e.tuning_cycles,
+        "normalized_tuning_time": e.normalized_tuning_time,
+        "suggested": e.suggested,
+        "methods_tried": list(e.methods_tried),
+        "disabled_flags": None if e.best_config is None else sorted(
+            {f.name for f in ALL_FLAGS} - e.best_config.enabled
+        ),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit the session's Fig. 7 data as a machine-readable CI artifact."""
+    if os.environ.get("REPRO_BENCH_JSON") != "1" or not _FIG7_CACHE:
+        return
+    records = [
+        _entry_record(machine_name, e)
+        for machine_name, entries in sorted(_FIG7_CACHE.items())
+        for e in entries
+    ]
+    payload = {
+        "experiment": "figure7",
+        "smoke": smoke_mode(),
+        "datasets": list(fig7_datasets()),
+        "entries": records,
+    }
+    path = os.path.join(str(session.config.rootpath), "BENCH_fig7.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)

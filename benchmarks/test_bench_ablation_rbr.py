@@ -13,7 +13,6 @@ methods: the improved method must be markedly less biased.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.compiler import OptConfig, compile_version
 from repro.core.rating import InvocationFeed, RatingSettings, ReExecutionRating

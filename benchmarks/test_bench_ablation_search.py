@@ -12,7 +12,6 @@ budget-bound; greedy construction builds an equivalent set from below.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import PeakTuner, evaluate_speedup
 from repro.core.search import (

@@ -13,7 +13,6 @@ regardless of context and converges.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import PeakTuner
 from repro.core.rating import RatingSettings

@@ -9,7 +9,6 @@ benchmarks on both machines, tuning with the train data set.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import fig7_entries
 from repro.experiments import summarize

@@ -1,0 +1,66 @@
+"""Bench — parallel batch engine vs the serial reference.
+
+Runs the same small Iterative-Elimination tune through the batch rating
+engine with ``jobs=1`` (the serial reference) and ``jobs=2`` (thread
+backend) and benchmarks the wall time of each.  The determinism contract
+says the two must agree bit-for-bit: same best configuration, same
+measurement log, same rating count.  On multi-core CI runners the jobs=2
+row should also be faster; on a single core it merely must not diverge.
+
+The compiled-version cache is exercised on both runs — IE revisits its
+running-best configuration as the reference of every pair, so a healthy
+run always reports cache hits.
+"""
+
+from __future__ import annotations
+
+from repro.core.peak import PeakTuner
+from repro.core.search import IterativeElimination
+from repro.machine import PENTIUM4
+from repro.workloads import get_workload
+
+# a small, interaction-rich subset keeps the bench under a minute
+FLAGS = (
+    "strength-reduce",
+    "schedule-insns",
+    "schedule-insns2",
+    "inline-functions",
+    "loop-optimize",
+)
+
+_RESULTS: dict[int, object] = {}
+
+
+def _tune(jobs: int):
+    tuner = PeakTuner(
+        PENTIUM4,
+        seed=1,
+        search=IterativeElimination(),
+        jobs=jobs,
+        parallel_backend="thread",
+    )
+    return tuner.tune(get_workload("swim"), dataset="train", flags=FLAGS)
+
+
+def test_bench_parallel_serial_reference(benchmark):
+    result = benchmark.pedantic(_tune, args=(1,), rounds=1, iterations=1)
+    _RESULTS[1] = result
+    assert result.ledger.cache_hits > 0, "IE re-rates its reference; cache must hit"
+
+
+def test_bench_parallel_two_workers(benchmark):
+    result = benchmark.pedantic(_tune, args=(2,), rounds=1, iterations=1)
+    _RESULTS[2] = result
+    assert result.ledger.cache_hits > 0
+
+    serial = _RESULTS.get(1)
+    assert serial is not None, "serial reference bench must run first"
+    assert result.best_config == serial.best_config
+    assert result.method_used == serial.method_used
+    assert [
+        (m.candidate.key(), m.reference.key(), m.speed)
+        for m in result.search.measurements
+    ] == [
+        (m.candidate.key(), m.reference.key(), m.speed)
+        for m in serial.search.measurements
+    ], "jobs=2 must be bit-identical to the serial reference"

@@ -14,11 +14,10 @@ smallest context noisiest.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import DEFAULT_WINDOWS, consistency_experiment, render_table
 from repro.machine import SPARC2
-from repro.workloads import WORKLOAD_NAMES, get_workload
+from repro.workloads import get_workload
 
 #: Table 1 order: integer benchmarks first, then floating point
 TABLE1_ORDER = (

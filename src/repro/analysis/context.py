@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from ..ir.expr import ArrayRef, Call, Const, Var, walk
+from ..ir.expr import ArrayRef, Const, Var, walk
 from ..ir.function import Function
 from ..ir.stmt import Assign, CallStmt, CondBranch
 from ..ir.types import Type, is_array, is_scalar

@@ -32,6 +32,15 @@ __all__ = ["main", "build_parser"]
 SEARCHES = ("ie", "be", "ce", "ose", "ffd", "random", "greedy")
 
 
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative worker count (got {jobs}; 0 = all cores)"
+        )
+    return jobs
+
+
 def _search_by_name(name: str):
     from .core.search import (
         BatchElimination,
@@ -77,6 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--flags", nargs="*", default=None,
                    help="restrict the searched flag subset")
+    p.add_argument("--jobs", type=_jobs_arg, default=None, metavar="N",
+                   help="evaluate candidate configurations on N parallel "
+                        "workers (0 = all cores; default: serial engine)")
+    p.add_argument("--backend", choices=("auto", "serial", "thread", "process"),
+                   default="auto",
+                   help="worker pool backend for --jobs (default: auto)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the compiled-version cache (--jobs only)")
 
     p = sub.add_parser("consistency", help="regenerate Table 1 rows")
     p.add_argument("workloads", nargs="+", choices=WORKLOAD_NAMES)
@@ -147,7 +164,14 @@ def _cmd_tune(args, out) -> int:
 
     w = get_workload(args.workload)
     machine = machine_by_name(args.machine)
-    tuner = PeakTuner(machine, seed=args.seed, search=_search_by_name(args.search))
+    tuner = PeakTuner(
+        machine,
+        seed=args.seed,
+        search=_search_by_name(args.search),
+        jobs=args.jobs,
+        parallel_backend=args.backend,
+        use_version_cache=not args.no_cache,
+    )
     method = None if args.method == "auto" else args.method
     flags = tuple(args.flags) if args.flags else None
     if flags:
@@ -165,6 +189,18 @@ def _cmd_tune(args, out) -> int:
           f"{result.search.n_ratings} ratings", file=out)
     print(f"disabled : {off or 'nothing'}", file=out)
     print(f"tuning   : {result.ledger.summary()}", file=out)
+    if args.jobs is not None:
+        from .core.search.parallel import resolve_jobs
+
+        ledger = result.ledger
+        print(
+            f"parallel : jobs={resolve_jobs(args.jobs)} backend={args.backend}, "
+            f"cache {ledger.cache_hits} hit(s) / {ledger.cache_misses} miss(es) "
+            f"({ledger.cache_hit_rate:.0%}), "
+            f"wall {ledger.wall_seconds:.2f}s over "
+            f"{len(ledger.wall_by_worker)} worker(s)",
+            file=out,
+        )
     print(f"result   : {improvement:+.2f}% vs -O3 on ref", file=out)
     return 0
 

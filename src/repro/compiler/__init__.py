@@ -9,7 +9,7 @@
 from .effects import EFFECTS, FlagEffect, VersionCosting, compute_costing
 from .flags import ALL_FLAGS, FLAGS_BY_NAME, Flag, N_FLAGS
 from .options import OptConfig
-from .pipeline import PASS_ORDER, compile_version, run_passes
+from .pipeline import PASS_ORDER, VersionCache, compile_version, run_passes, version_key
 from .version import Version
 
 __all__ = [
@@ -22,8 +22,10 @@ __all__ = [
     "OptConfig",
     "PASS_ORDER",
     "Version",
+    "VersionCache",
     "VersionCosting",
     "compile_version",
     "compute_costing",
     "run_passes",
+    "version_key",
 ]

@@ -5,9 +5,21 @@ invoking GCC on an extracted tuning-section file with a set of ``-f...``
 options (paper Section 4.1): it clones the IR, runs the passes the enabled
 flags select (in a fixed canonical order), validates the result, prices the
 blocks through the effect model, and emits an executable version.
+
+``VersionCache`` is a content-addressed cache over that pipeline: versions
+are keyed by a digest of the tuning section's IR, the option set, the
+machine, and the surrounding program, so re-compiling a configuration the
+search has already visited (common in Iterative Elimination's re-probing,
+and across workers of the parallel evaluator) skips the pass pipeline
+entirely.  The cache is thread-safe and deduplicates concurrent compiles of
+the same key: exactly one caller builds, the others wait and score a hit.
 """
 
 from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Callable
 
 from ..ir.function import Function, Program
 from ..ir.validate import validate_function
@@ -26,7 +38,7 @@ from .passes.peephole import peephole, strength_reduce
 from .passes.unroll import unroll_loops
 from .version import Version
 
-__all__ = ["compile_version", "run_passes", "PASS_ORDER"]
+__all__ = ["VersionCache", "compile_version", "run_passes", "version_key", "PASS_ORDER"]
 
 
 #: canonical pass order: (pass id, flag gating it, callable)
@@ -104,6 +116,141 @@ def run_passes(
     return out
 
 
+# --------------------------------------------------------------------------- #
+# content-addressed version cache
+
+
+def _program_digest(program: Program | None) -> str:
+    if program is None:
+        return "-"
+    h = hashlib.sha256()
+    for name in sorted(program.functions):
+        h.update(name.encode())
+        h.update(str(program.functions[name]).encode())
+    return h.hexdigest()
+
+
+def version_key(
+    fn: Function,
+    config: OptConfig,
+    machine: MachineConfig,
+    *,
+    program: Program | None = None,
+    checked: bool = True,
+    _program_hash: str | None = None,
+) -> str:
+    """Content hash identifying one ``compile_version`` outcome.
+
+    The digest covers the tuning section's rendered IR, the enabled option
+    set, every machine parameter (``repr`` of the frozen config), the
+    surrounding program (inlining sources and callee compilation), and the
+    ``checked`` flag.  Two calls with equal keys produce behaviourally
+    identical versions.
+    """
+    h = hashlib.sha256()
+    h.update(str(fn).encode())
+    h.update(b"\x00")
+    h.update("\x1f".join(config.key()).encode())
+    h.update(b"\x00")
+    h.update(repr(machine).encode())
+    h.update(b"\x00")
+    h.update((_program_hash or _program_digest(program)).encode())
+    h.update(b"\x00")
+    h.update(b"1" if checked else b"0")
+    return h.hexdigest()
+
+
+class VersionCache:
+    """Thread-safe content-addressed cache of compiled :class:`Version`\\ s.
+
+    ``get_or_compile`` returns ``(version, hit)``.  Concurrent requests for
+    the same key are deduplicated: the first caller runs the pass pipeline,
+    later callers block until it lands and count as hits (they skipped the
+    compile).  Program digests are memoized by object identity — programs
+    are treated as immutable for the lifetime of the cache, which holds for
+    the tuning pipeline (passes always transform copies).
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: dict[str, Version] = {}
+        self._building: dict[str, threading.Event] = {}
+        self._program_hashes: dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def key_for(
+        self,
+        fn: Function,
+        config: OptConfig,
+        machine: MachineConfig,
+        *,
+        program: Program | None = None,
+        checked: bool = True,
+    ) -> str:
+        if program is None:
+            prog_hash = "-"
+        else:
+            prog_hash = self._program_hashes.get(id(program))
+            if prog_hash is None:
+                prog_hash = _program_digest(program)
+                self._program_hashes[id(program)] = prog_hash
+        return version_key(
+            fn, config, machine, program=program, checked=checked,
+            _program_hash=prog_hash,
+        )
+
+    def get_or_compile(
+        self, key: str, build: Callable[[], Version]
+    ) -> tuple[Version, bool]:
+        """Return the cached version for *key*, building it at most once."""
+        while True:
+            with self._lock:
+                v = self._entries.get(key)
+                if v is not None:
+                    self.hits += 1
+                    return v, True
+                event = self._building.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._building[key] = event
+                    am_builder = True
+                else:
+                    am_builder = False
+            if am_builder:
+                v = None
+                try:
+                    v = build()
+                finally:
+                    with self._lock:
+                        if v is not None:
+                            if self.max_entries is not None and \
+                                    len(self._entries) >= self.max_entries:
+                                self._entries.pop(next(iter(self._entries)))
+                            self._entries[key] = v
+                        self.misses += 1
+                        self._building.pop(key, None)
+                        event.set()
+                return v, False
+            event.wait()
+            # the builder has landed the entry (or failed); retry the lookup
+
+
 def compile_version(
     fn: Function,
     config: OptConfig,
@@ -112,8 +259,37 @@ def compile_version(
     program: Program | None = None,
     checked: bool = True,
     callees: dict[str, ExecutableFunction] | None = None,
+    cache: VersionCache | None = None,
 ) -> Version:
-    """Compile tuning section *fn* under *config* for *machine*."""
+    """Compile tuning section *fn* under *config* for *machine*.
+
+    With *cache*, the compile is served from / recorded into the
+    content-addressed version cache (explicit *callees* bypass it: they are
+    caller-specific and not part of the content key).
+    """
+    if cache is not None and callees is None:
+        key = cache.key_for(fn, config, machine, program=program, checked=checked)
+        version, _ = cache.get_or_compile(
+            key,
+            lambda: _compile_uncached(
+                fn, config, machine, program=program, checked=checked, callees=None
+            ),
+        )
+        return version
+    return _compile_uncached(
+        fn, config, machine, program=program, checked=checked, callees=callees
+    )
+
+
+def _compile_uncached(
+    fn: Function,
+    config: OptConfig,
+    machine: MachineConfig,
+    *,
+    program: Program | None = None,
+    checked: bool = True,
+    callees: dict[str, ExecutableFunction] | None = None,
+) -> Version:
     transformed = run_passes(fn, config, program=program, checked=False)
     if checked:
         validate_function(

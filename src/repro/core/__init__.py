@@ -3,10 +3,13 @@ the Rating Approach Consultant, search algorithms over the option space,
 TS selection, and the PEAK tuning driver."""
 
 from . import rating, search
+from .engine import BatchRatingEngine, EngineSpec
 from .peak import PeakTuner, TuningResult, evaluate_speedup, measure_whole_program
 from .selector import SelectedTS, select_tuning_sections
 
 __all__ = [
+    "BatchRatingEngine",
+    "EngineSpec",
     "PeakTuner",
     "SelectedTS",
     "TuningResult",

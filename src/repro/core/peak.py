@@ -13,6 +13,14 @@
 4. The best configuration's clean version (no instrumentation) is the
    result; every cycle spent tuning is in the returned ledger.
 
+With ``jobs`` set, step 3 runs on the **parallel batch engine**
+(:mod:`repro.core.engine`): the search algorithms emit batches of
+independent candidates that fan out over a worker pool, compiled versions
+are served from a content-addressed cache, and per-task seeding keeps the
+chosen configuration and every rating bit-identical across ``jobs``
+settings.  ``jobs=None`` (the default) keeps the paper-faithful serial
+engine with its single shared invocation feed.
+
 ``evaluate_speedup`` measures the tuned configuration the way the paper's
 Fig. 7(a)/(b) does: whole-program runs of the ``ref`` dataset, tuned vs
 ``-O3``.
@@ -208,6 +216,9 @@ class PeakTuner:
         noise: NoiseModel | None = None,
         checked: bool = False,
         profile_limit: int | None = None,
+        jobs: int | None = None,
+        parallel_backend: str = "auto",
+        use_version_cache: bool = True,
     ) -> None:
         self.machine = machine
         self.seed = seed
@@ -219,6 +230,11 @@ class PeakTuner:
         self.noise = noise
         self.checked = checked
         self.profile_limit = profile_limit
+        #: None → the paper-faithful serial engine; an int (0 = all cores)
+        #: → the parallel batch engine with that many workers
+        self.jobs = jobs
+        self.parallel_backend = parallel_backend
+        self.use_version_cache = use_version_cache
 
     # ------------------------------------------------------------------ #
 
@@ -264,20 +280,57 @@ class PeakTuner:
             if method == "MBR" and plan.component_model is None:
                 raise ValueError(f"MBR forced but inapplicable for {workload.name}")
 
-        ledger = TuningLedger()
-        ds = workload.dataset(dataset)
-        feed = InvocationFeed(
-            ds.generator, ds.n_invocations, ds.non_ts_cycles, ledger, seed=self.seed
-        )
-        timed = TimedExecutor(
-            self.machine, seed=self.seed, noise=self.noise, ledger=ledger
-        )
-        engine = _RatingEngine(self, workload, plan, feed, timed, chosen)
-
         from ..compiler.flags import ALL_FLAGS
 
         flag_names = flags if flags is not None else tuple(f.name for f in ALL_FLAGS)
-        result = self.search.search(engine.rate, flag_names, OptConfig.o3())
+
+        if self.jobs is not None:
+            # parallel batch engine: hermetic per-task rating contexts,
+            # version cache, deterministic for any jobs/backend setting
+            from .engine import BatchRatingEngine, EngineSpec
+
+            spec = EngineSpec(
+                workload_name=workload.name,
+                machine=self.machine,
+                dataset=dataset,
+                settings=self.settings,
+                limits=self.limits,
+                noise=self.noise,
+                rbr_improved=self.rbr_improved,
+                whl_runs_per_rating=self.whl_runs_per_rating,
+                checked=self.checked,
+                profile_limit=self.profile_limit,
+                base_seed=self.seed,
+                use_cache=self.use_version_cache,
+            )
+            with BatchRatingEngine(
+                spec,
+                method=chosen,
+                workload=workload,
+                plan=plan,
+                jobs=self.jobs,
+                backend=self.parallel_backend,
+            ) as engine:
+                result = self.search.search(engine, flag_names, OptConfig.o3())
+                ledger = engine.ledger
+                method_used = engine.method
+                methods_tried = engine.methods_tried
+                n_rated = engine.n_rated
+        else:
+            ledger = TuningLedger()
+            ds = workload.dataset(dataset)
+            feed = InvocationFeed(
+                ds.generator, ds.n_invocations, ds.non_ts_cycles, ledger,
+                seed=self.seed,
+            )
+            timed = TimedExecutor(
+                self.machine, seed=self.seed, noise=self.noise, ledger=ledger
+            )
+            engine = _RatingEngine(self, workload, plan, feed, timed, chosen)
+            result = self.search.search(engine.rate, flag_names, OptConfig.o3())
+            method_used = engine.method
+            methods_tried = engine.methods_tried
+            n_rated = engine.n_rated
 
         return TuningResult(
             workload=workload.name,
@@ -285,13 +338,13 @@ class PeakTuner:
             machine=self.machine.name,
             dataset=dataset,
             method_requested=method,
-            method_used=engine.method,
-            methods_tried=engine.methods_tried,
+            method_used=method_used,
+            methods_tried=methods_tried,
             best_config=result.best_config,
             search=result,
             ledger=ledger,
             plan=plan,
-            n_versions_rated=engine.n_rated,
+            n_versions_rated=n_rated,
         )
 
 

@@ -11,6 +11,7 @@ from .base import Measurement, RateFn, SearchAlgorithm, SearchResult
 from .combined_elimination import CombinedElimination
 from .iterative_elimination import IterativeElimination
 from .ose import OptimizationSpaceExploration
+from .parallel import ParallelEvaluator, resolve_jobs
 
 __all__ = [
     "BatchElimination",
@@ -21,8 +22,10 @@ __all__ = [
     "IterativeElimination",
     "Measurement",
     "OptimizationSpaceExploration",
+    "ParallelEvaluator",
     "RandomSearch",
     "RateFn",
     "SearchAlgorithm",
     "SearchResult",
+    "resolve_jobs",
 ]

@@ -44,9 +44,13 @@ class ExhaustiveSearch(SearchAlgorithm):
         best = start
         best_speed = 1.0
         for r in range(1, len(flags) + 1):
-            for off in combinations(flags, r):
-                candidate = start.without(*off)
-                speed = self._measure(rate, candidate, start, log)
+            candidates = [
+                start.without(*off) for off in combinations(flags, r)
+            ]
+            speeds = self._measure_batch(
+                rate, [(c, start) for c in candidates], log
+            )
+            for candidate, speed in zip(candidates, speeds):
                 if speed > best_speed:
                     best, best_speed = candidate, speed
         return SearchResult(self.name, best, best_speed, log)
@@ -68,11 +72,14 @@ class RandomSearch(SearchAlgorithm):
         log: list[Measurement] = []
         best = start
         best_speed = 1.0
+        # the sample set is drawn up-front, so the whole search is one batch
+        candidates = []
         for _ in range(self.n_samples):
             mask = rng.random(len(flags)) < 0.5
             off = [f for f, m in zip(flags, mask) if m]
-            candidate = start.without(*off)
-            speed = self._measure(rate, candidate, start, log)
+            candidates.append(start.without(*off))
+        speeds = self._measure_batch(rate, [(c, start) for c in candidates], log)
+        for candidate, speed in zip(candidates, speeds):
             if speed > best_speed:
                 best, best_speed = candidate, speed
         return SearchResult(self.name, best, best_speed, log)
@@ -89,13 +96,14 @@ class BatchElimination(SearchAlgorithm):
         self, rate: RateFn, flags: Sequence[str], start: OptConfig
     ) -> SearchResult:
         log: list[Measurement] = []
-        harmful: list[str] = []
-        for f in flags:
-            if f not in start:
-                continue
-            speed = self._measure(rate, start.without(f), start, log)
-            if speed > 1.0 + self.improvement_margin:
-                harmful.append(f)
+        probed = [f for f in flags if f in start]
+        speeds = self._measure_batch(
+            rate, [(start.without(f), start) for f in probed], log
+        )
+        harmful = [
+            f for f, speed in zip(probed, speeds)
+            if speed > 1.0 + self.improvement_margin
+        ]
         best = start.without(*harmful)
         if harmful:
             final = self._measure(rate, best, start, log)
@@ -134,11 +142,13 @@ class FractionalFactorial(SearchAlgorithm):
             rng.shuffle(col)
             design[:, j] = col
 
-        speeds = np.empty(runs)
+        candidates = []
         for i in range(runs):
             off = [flags[j] for j in range(n) if design[i, j] < 0]
-            candidate = start.without(*off)
-            speeds[i] = self._measure(rate, candidate, start, log)
+            candidates.append(start.without(*off))
+        speeds = np.array(
+            self._measure_batch(rate, [(c, start) for c in candidates], log)
+        )
 
         # main effects on log-speed: speed ~ exp(b0 + sum_j b_j x_j)
         X = np.hstack([np.ones((runs, 1)), design])
@@ -166,10 +176,10 @@ class GreedyConstruction(SearchAlgorithm):
         remaining = [f for f in flags]
         est = self._measure(rate, current, start, log)
         while remaining:
-            speeds = {
-                f: self._measure(rate, current.with_(f), current, log)
-                for f in remaining
-            }
+            batch = self._measure_batch(
+                rate, [(current.with_(f), current) for f in remaining], log
+            )
+            speeds = dict(zip(remaining, batch))
             best_flag = max(speeds, key=speeds.__getitem__)
             if speeds[best_flag] <= 1.0 + self.improvement_margin:
                 break

@@ -6,6 +6,14 @@ returns the candidate's relative speed against a reference configuration
 (>1 means the candidate is faster); how that ratio is produced (CBR, MBR,
 RBR, WHL, AVG) is the engine's business — "alternative pruning algorithms
 could also be plugged into our system" (paper Section 5.2).
+
+Search algorithms emit *batches* of independent candidates wherever their
+structure allows (an Iterative Elimination round, Batch Elimination's
+sweep, an OSE generation, ...): :meth:`SearchAlgorithm._measure_batch`
+hands the whole batch to the engine's ``rate_many`` hook when it has one,
+which is what lets the parallel evaluator fan candidates out over a worker
+pool.  A plain callable engine still works — batches then degrade to an
+in-order loop, so serial and batched searches visit identical candidates.
 """
 
 from __future__ import annotations
@@ -73,3 +81,33 @@ class SearchAlgorithm(ABC):
         speed = rate(candidate, reference)
         log.append(Measurement(candidate, reference, speed))
         return speed
+
+    def _measure_batch(
+        self,
+        rate: RateFn,
+        pairs: Sequence[tuple[OptConfig, OptConfig]],
+        log: list[Measurement],
+    ) -> list[float]:
+        """Rate a batch of independent (candidate, reference) pairs.
+
+        The pairs are mutually independent by construction — the engine may
+        evaluate them concurrently.  Results come back in pair order, and
+        the measurement log records them in that same order, so a batched
+        search's trace is identical to the equivalent serial one.
+        """
+        if not pairs:
+            return []
+        rate_many = getattr(rate, "rate_many", None)
+        if rate_many is not None:
+            speeds = [float(s) for s in rate_many(list(pairs))]
+            if len(speeds) != len(pairs):
+                raise RuntimeError(
+                    f"rate_many returned {len(speeds)} speeds for "
+                    f"{len(pairs)} pairs"
+                )
+        else:
+            speeds = [rate(c, r) for c, r in pairs]
+        log.extend(
+            Measurement(c, r, s) for (c, r), s in zip(pairs, speeds)
+        )
+        return speeds

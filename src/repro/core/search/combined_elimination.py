@@ -40,33 +40,38 @@ class CombinedElimination(SearchAlgorithm):
         current = start
         est_speed = 1.0
 
-        # Step 1: measure every option's RIP against the start config.
-        rips: dict[str, float] = {}
-        for f in flags:
-            if f not in current:
-                continue
-            rips[f] = self._measure(rate, current.without(f), current, log)
+        # Step 1: measure every option's RIP against the start config
+        # (one independent batch, like Batch Elimination's sweep).
+        probed = [f for f in flags if f in current]
+        sweep = self._measure_batch(
+            rate, [(current.without(f), current) for f in probed], log
+        )
+        rips: dict[str, float] = dict(zip(probed, sweep))
 
         # Step 2+: repeatedly remove the worst offender, then re-measure the
         # remaining *harmful-looking* candidates against the new baseline.
-        candidates = {
-            f for f, s in rips.items() if s > 1.0 + self.improvement_margin
-        }
+        # Candidates keep flag order so batches (and the measurement log)
+        # are deterministic.
+        candidates = [
+            f for f in probed if rips[f] > 1.0 + self.improvement_margin
+        ]
         while candidates:
             worst = max(candidates, key=lambda f: rips[f])
             if rips[worst] <= 1.0 + self.improvement_margin:
                 break
             current = current.without(worst)
             est_speed *= rips[worst]
-            candidates.discard(worst)
-            # re-test the remaining suspicious options only
-            stale = list(candidates)
-            candidates.clear()
-            for f in stale:
-                s = self._measure(rate, current.without(f), current, log)
+            # re-test the remaining suspicious options only (batched: they
+            # are all rated against the same new baseline)
+            stale = [f for f in candidates if f != worst]
+            retest = self._measure_batch(
+                rate, [(current.without(f), current) for f in stale], log
+            )
+            candidates = []
+            for f, s in zip(stale, retest):
                 rips[f] = s
                 if s > 1.0 + self.improvement_margin:
-                    candidates.add(f)
+                    candidates.append(f)
 
         return SearchResult(
             algorithm=self.name,

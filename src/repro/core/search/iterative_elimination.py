@@ -54,10 +54,10 @@ class IterativeElimination(SearchAlgorithm):
             if self.max_rounds is not None and rounds >= self.max_rounds:
                 break
             rounds += 1
-            speeds: dict[str, float] = {}
-            for f in remaining:
-                candidate = current.without(f)
-                speeds[f] = self._measure(rate, candidate, current, log)
+            # one round's removals are mutually independent: rate as a batch
+            pairs = [(current.without(f), current) for f in remaining]
+            batch = self._measure_batch(rate, pairs, log)
+            speeds = dict(zip(remaining, batch))
             best_flag = max(speeds, key=speeds.__getitem__)
             best_speed = speeds[best_flag]
             if best_speed <= 1.0 + self.improvement_margin:

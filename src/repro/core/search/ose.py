@@ -73,17 +73,25 @@ class OptimizationSpaceExploration(SearchAlgorithm):
         best, best_speed = start, 1.0
 
         for _ in range(self.generations):
-            next_candidates: list[OptConfig] = []
+            # one generation's beam × delta expansions are independent:
+            # collect the unseen ones (deduplicated, in beam order) and
+            # rate them as a single batch
+            fresh: list[OptConfig] = []
+            seen_now: set[tuple] = set()
             for member in beam:
                 for group in deltas.values():
                     cand = member.without(*group)
-                    if cand.key() in scored:
+                    if cand.key() in scored or cand.key() in seen_now:
                         continue
-                    speed = self._measure(rate, cand, start, log)
-                    scored[cand.key()] = speed
-                    next_candidates.append(cand)
-                    if speed > best_speed:
-                        best, best_speed = cand, speed
+                    seen_now.add(cand.key())
+                    fresh.append(cand)
+            speeds = self._measure_batch(rate, [(c, start) for c in fresh], log)
+            next_candidates: list[OptConfig] = []
+            for cand, speed in zip(fresh, speeds):
+                scored[cand.key()] = speed
+                next_candidates.append(cand)
+                if speed > best_speed:
+                    best, best_speed = cand, speed
             if not next_candidates:
                 break
             next_candidates.sort(key=lambda c: scored[c.key()], reverse=True)

@@ -12,6 +12,12 @@ rather than estimated:
 * ``instrumentation`` — MBR counters and timer overhead
 * ``non_ts``        — the rest of the application around the TS, charged
   once per program run (workloads declare their non-TS cost)
+
+Beyond simulated cycles, the ledger also carries the *parallel tuning
+engine's* bookkeeping: compiled-version cache hits/misses, and wall-clock
+seconds itemised per worker — so a tuning run reports both how much
+simulated work it charged (machine-independent) and how long it really
+took on how many cores (machine-dependent).
 """
 
 from __future__ import annotations
@@ -28,6 +34,11 @@ class TuningLedger:
     by_category: dict[str, float] = field(default_factory=dict)
     invocations: int = 0
     program_runs: int = 0
+    #: compiled-version cache traffic (parallel/batch engine only)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: wall-clock seconds of rating work, per worker label
+    wall_by_worker: dict[str, float] = field(default_factory=dict)
 
     def charge(self, category: str, cycles: float) -> None:
         if cycles < 0:
@@ -43,25 +54,72 @@ class TuningLedger:
         self.program_runs += 1
         self.charge("non_ts", non_ts_cycles)
 
+    def record_cache(self, hits: int, misses: int) -> None:
+        """Account compiled-version cache traffic."""
+        if hits < 0 or misses < 0:
+            raise ValueError("cache counters cannot be negative")
+        self.cache_hits += hits
+        self.cache_misses += misses
+
+    def record_wall(self, worker: str, seconds: float) -> None:
+        """Account wall-clock rating time spent on *worker*."""
+        if seconds < 0:
+            raise ValueError("cannot record negative wall-clock time")
+        self.wall_by_worker[worker] = self.wall_by_worker.get(worker, 0.0) + seconds
+
     @property
     def total_cycles(self) -> float:
         return sum(self.by_category.values())
 
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall-clock rating seconds across all workers."""
+        return sum(self.wall_by_worker.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def absorb(self, other: "TuningLedger") -> None:
+        """Merge *other* into this ledger in place (parallel task results)."""
+        for k, v in other.by_category.items():
+            self.by_category[k] = self.by_category.get(k, 0.0) + v
+        self.invocations += other.invocations
+        self.program_runs += other.program_runs
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        for w, s in other.wall_by_worker.items():
+            self.wall_by_worker[w] = self.wall_by_worker.get(w, 0.0) + s
+
     def merged(self, other: "TuningLedger") -> "TuningLedger":
         out = TuningLedger(
             by_category=dict(self.by_category),
-            invocations=self.invocations + other.invocations,
-            program_runs=self.program_runs + other.program_runs,
+            invocations=self.invocations,
+            program_runs=self.program_runs,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            wall_by_worker=dict(self.wall_by_worker),
         )
-        for k, v in other.by_category.items():
-            out.by_category[k] = out.by_category.get(k, 0.0) + v
+        out.absorb(other)
         return out
 
     def summary(self) -> str:
         parts = ", ".join(
             f"{k}={v:.3g}" for k, v in sorted(self.by_category.items())
         )
-        return (
+        text = (
             f"TuningLedger(total={self.total_cycles:.4g} cycles, "
             f"{self.program_runs} runs, {self.invocations} invocations; {parts})"
         )
+        if self.cache_hits or self.cache_misses:
+            text += (
+                f" [cache {self.cache_hits}h/{self.cache_misses}m "
+                f"{self.cache_hit_rate:.0%}]"
+            )
+        if self.wall_by_worker:
+            text += (
+                f" [wall {self.wall_seconds:.2f}s over "
+                f"{len(self.wall_by_worker)} worker(s)]"
+            )
+        return text

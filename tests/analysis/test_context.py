@@ -3,12 +3,11 @@
 import pytest
 
 from repro.analysis import (
-    ContextVarSpec,
     analyze_context,
     context_key,
     refine_context,
 )
-from repro.ir import ArrayRef, Const, FunctionBuilder, Type, Var, eq
+from repro.ir import ArrayRef, Const, FunctionBuilder, Type, Var
 
 
 def regular_kernel():

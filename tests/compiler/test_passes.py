@@ -1,7 +1,6 @@
 """Unit tests for individual optimization passes."""
 
 import numpy as np
-import pytest
 
 from repro.compiler.passes import (
     common_subexpression_elimination,
@@ -27,7 +26,6 @@ from repro.ir import (
     Program,
     Type,
     Var,
-    eq,
     validate_function,
 )
 from repro.machine import Executor, SPARC2, compile_function

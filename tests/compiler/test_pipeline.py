@@ -15,11 +15,8 @@ from repro.compiler import (
 from repro.compiler.effects import compute_costing
 from repro.ir import (
     ArrayRef,
-    Const,
     FunctionBuilder,
     Type,
-    Var,
-    eq,
     validate_function,
 )
 from repro.machine import Executor, PENTIUM4, SPARC2

@@ -1,6 +1,5 @@
 """Tests for the online adaptive tuner (the paper's Section 6 extension)."""
 
-import pytest
 
 from repro.compiler import OptConfig
 from repro.core import measure_whole_program

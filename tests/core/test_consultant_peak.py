@@ -1,12 +1,11 @@
 """Tests for the Rating Approach Consultant, TS selector, and PEAK driver."""
 
-import numpy as np
 import pytest
 
 from repro.compiler import OptConfig
 from repro.core import PeakTuner, evaluate_speedup, measure_whole_program, select_tuning_sections
-from repro.core.rating import ConsultantLimits, RatingSettings, consult
-from repro.core.search import BatchElimination, IterativeElimination
+from repro.core.rating import ConsultantLimits, consult
+from repro.core.search import BatchElimination
 from repro.machine import PENTIUM4, SPARC2, profile_tuning_section
 from repro.workloads import get_workload
 

@@ -7,7 +7,6 @@ from repro.core.rating import (
     Direction,
     InvocationFeed,
     RatingResult,
-    RatingSettings,
     filter_outliers,
     rating_var,
     relative_var,

@@ -1,6 +1,5 @@
 """Tests for the CE and OSE search extensions."""
 
-import pytest
 
 from repro.compiler import OptConfig
 from repro.core.search import (

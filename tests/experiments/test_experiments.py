@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
-    ConsistencyRow,
     consistency_experiment,
     figure7_experiment,
     render_table,

@@ -5,7 +5,6 @@ per-method rating -> search -> ledger -> final measurement — and pin the
 paper-level invariants that individual unit tests cannot see.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

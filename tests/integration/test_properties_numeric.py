@@ -8,7 +8,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis import analyze_trip_counts, build_components
 from repro.core.rating import filter_outliers
-from repro.ir import ArrayRef, FunctionBuilder, Type
+from repro.ir import FunctionBuilder, Type
 from repro.machine import CacheSim, Executor, SPARC2, compile_function
 
 RELAXED = settings(

@@ -6,7 +6,6 @@ from repro.ir import (
     ArrayRef,
     CondBranch,
     FunctionBuilder,
-    Jump,
     Return,
     Type,
     Var,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ir import ArrayRef, BinOp, Call, Const, FunctionBuilder, Type, Var
+from repro.ir import ArrayRef, Call, Const, FunctionBuilder, Type, Var
 from repro.machine import (
     NoiseModel,
     PENTIUM4,

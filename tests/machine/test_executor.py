@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ir import ArrayRef, Const, FunctionBuilder, Type, Var, eq
+from repro.ir import ArrayRef, FunctionBuilder, Type, Var, eq
 from repro.machine import (
     CostFactors,
     ExecutionError,

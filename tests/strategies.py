@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import strategies as st
 
-from repro.ir import ArrayRef, Const, FunctionBuilder, Type, Var, eq
+from repro.ir import ArrayRef, Const, FunctionBuilder, Type, Var
 
 SCALARS = ("n", "k", "s", "t")
 ARRAYS = ("a", "b")
