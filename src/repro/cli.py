@@ -25,6 +25,7 @@ from typing import Sequence
 
 from .compiler.flags import ALL_FLAGS
 from .machine.config import MACHINES, machine_by_name
+from .machine.jit import EXEC_TIERS
 from .workloads import WORKLOAD_NAMES, get_workload
 
 __all__ = ["main", "build_parser"]
@@ -94,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker pool backend for --jobs (default: auto)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the compiled-version cache (--jobs only)")
+    p.add_argument("--exec-tier", type=int, choices=EXEC_TIERS, default=0,
+                   help="simulated-execution tier: 0 = paper-faithful "
+                        "interpreter, 1 = trace JIT (bit-identical results, "
+                        "faster hot loops)")
 
     p = sub.add_parser("consistency", help="regenerate Table 1 rows")
     p.add_argument("workloads", nargs="+", choices=WORKLOAD_NAMES)
@@ -171,6 +176,7 @@ def _cmd_tune(args, out) -> int:
         jobs=args.jobs,
         parallel_backend=args.backend,
         use_version_cache=not args.no_cache,
+        exec_tier=args.exec_tier,
     )
     method = None if args.method == "auto" else args.method
     flags = tuple(args.flags) if args.flags else None
@@ -181,7 +187,8 @@ def _cmd_tune(args, out) -> int:
             print(f"unknown flags: {sorted(unknown)}", file=sys.stderr)
             return 2
     result = tuner.tune(w, dataset=args.dataset, method=method, flags=flags)
-    improvement = evaluate_speedup(w, result.best_config, machine)
+    improvement = evaluate_speedup(w, result.best_config, machine,
+                                   exec_tier=args.exec_tier)
     off = sorted({f.name for f in ALL_FLAGS} - result.best_config.enabled)
     print(f"workload : {w.name} on {machine.name} ({args.dataset} input)", file=out)
     print(f"method   : {result.method_used} (tried {result.methods_tried})", file=out)

@@ -92,6 +92,9 @@ class EngineSpec:
     profile_limit: int | None
     base_seed: int
     use_cache: bool
+    #: execution tier for every simulated invocation (0 = interpreter,
+    #: 1 = trace JIT; results are bit-identical either way)
+    exec_tier: int = 0
 
 
 class _WorkerContext:
@@ -117,6 +120,7 @@ class _WorkerContext:
                 workload.ts,
                 workload.profile_invocations(spec.dataset, limit=spec.profile_limit),
                 spec.machine,
+                exec_tier=spec.exec_tier,
             )
             plan = consult(
                 workload.ts,
@@ -218,6 +222,7 @@ class _TaskRater:
             seed=_task_seed(spec.base_seed, task.task_id),
             noise=spec.noise,
             ledger=self.ledger,
+            exec_tier=spec.exec_tier,
         )
 
     # -- compilation ---------------------------------------------------- #

@@ -36,7 +36,7 @@ from ..compiler.options import OptConfig
 from ..compiler.pipeline import compile_version
 from ..compiler.version import Version
 from ..machine.config import MachineConfig
-from ..machine.executor import Executor
+from ..machine.jit import create_executor
 from ..machine.perturb import NoiseModel
 from ..machine.profiler import TSProfile, profile_tuning_section
 from ..runtime.instrument import TimedExecutor
@@ -219,6 +219,7 @@ class PeakTuner:
         jobs: int | None = None,
         parallel_backend: str = "auto",
         use_version_cache: bool = True,
+        exec_tier: int = 0,
     ) -> None:
         self.machine = machine
         self.seed = seed
@@ -235,6 +236,9 @@ class PeakTuner:
         self.jobs = jobs
         self.parallel_backend = parallel_backend
         self.use_version_cache = use_version_cache
+        #: execution tier for every simulated invocation (0 = paper-faithful
+        #: interpreter, 1 = trace JIT; ratings are bit-identical either way)
+        self.exec_tier = exec_tier
 
     # ------------------------------------------------------------------ #
 
@@ -244,6 +248,7 @@ class PeakTuner:
             workload.ts,
             workload.profile_invocations(dataset, limit=self.profile_limit),
             self.machine,
+            exec_tier=self.exec_tier,
         )
 
     def plan(self, workload: Workload, profile: TSProfile) -> RatingPlan:
@@ -302,6 +307,7 @@ class PeakTuner:
                 profile_limit=self.profile_limit,
                 base_seed=self.seed,
                 use_cache=self.use_version_cache,
+                exec_tier=self.exec_tier,
             )
             with BatchRatingEngine(
                 spec,
@@ -324,7 +330,8 @@ class PeakTuner:
                 seed=self.seed,
             )
             timed = TimedExecutor(
-                self.machine, seed=self.seed, noise=self.noise, ledger=ledger
+                self.machine, seed=self.seed, noise=self.noise, ledger=ledger,
+                exec_tier=self.exec_tier,
             )
             engine = _RatingEngine(self, workload, plan, feed, timed, chosen)
             result = self.search.search(engine.rate, flag_names, OptConfig.o3())
@@ -360,13 +367,14 @@ def measure_whole_program(
     *,
     runs: int = 3,
     seed: int = 1234,
+    exec_tier: int = 0,
 ) -> float:
     """Mean whole-program time (cycles) of *config* on *dataset*."""
     version = compile_version(
         workload.ts, config, machine, program=workload.program
     )
     ds = workload.dataset(dataset)
-    executor = Executor(machine)
+    executor = create_executor(machine, exec_tier)
     totals = []
     for r in range(runs):
         rng = np.random.default_rng(seed)  # same input file every run
@@ -386,6 +394,7 @@ def evaluate_speedup(
     *,
     runs: int = 2,
     seed: int = 1234,
+    exec_tier: int = 0,
 ) -> float:
     """Percent improvement of *tuned_config* over ``-O3`` on *dataset*.
 
@@ -393,9 +402,9 @@ def evaluate_speedup(
     measured with the ref data set; tuning may have used train or ref.
     """
     t_o3 = measure_whole_program(workload, OptConfig.o3(), machine, dataset,
-                                 runs=runs, seed=seed)
+                                 runs=runs, seed=seed, exec_tier=exec_tier)
     t_tuned = measure_whole_program(workload, tuned_config, machine, dataset,
-                                    runs=runs, seed=seed)
+                                    runs=runs, seed=seed, exec_tier=exec_tier)
     if t_tuned <= 0:
         return 0.0
     return (t_o3 / t_tuned - 1.0) * 100.0

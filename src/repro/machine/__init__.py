@@ -18,6 +18,15 @@ from .executor import (
     InvocationResult,
     compile_function,
 )
+from .jit import (
+    EXEC_TIERS,
+    ExecutableCache,
+    JitConfig,
+    TieredExecutor,
+    create_executor,
+    executable_digest,
+    global_executable_cache,
+)
 from .perturb import NoiseModel
 from .profiler import TSProfile, profile_tuning_section
 
@@ -27,19 +36,26 @@ __all__ = [
     "CompiledBlock",
     "CostFactors",
     "CostTable",
+    "EXEC_TIERS",
+    "ExecutableCache",
     "ExecutableFunction",
     "ExecutionError",
     "Executor",
     "InvocationResult",
+    "JitConfig",
     "MACHINES",
     "MachineConfig",
     "NoiseModel",
     "PENTIUM4",
     "SPARC2",
     "TSProfile",
+    "TieredExecutor",
     "block_static_costs",
     "compile_function",
+    "create_executor",
+    "executable_digest",
     "expr_cost",
+    "global_executable_cache",
     "infer_type",
     "machine_by_name",
     "profile_tuning_section",

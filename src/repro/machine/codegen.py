@@ -30,7 +30,7 @@ from ..ir.stmt import Assign, CondBranch, Jump, Return
 from ..ir.types import Type
 from .cost import infer_type
 
-__all__ = ["compile_block_fn", "RETURN_LABEL"]
+__all__ = ["compile_block_fn", "ExprEmitter", "exec_namespace", "RETURN_LABEL"]
 
 RETURN_LABEL = "<return>"
 
@@ -50,7 +50,14 @@ _INTRINSIC_IMPLS: dict[str, Callable] = {
 }
 
 
-class _Emitter:
+class ExprEmitter:
+    """Emits flattened Python source for IR expressions and assignments.
+
+    Subclasses (the trace JIT) override :meth:`expr`'s ``Var``/``ArrayRef``
+    handling to bind promoted locals and inline address arithmetic; the
+    recursive cases dispatch through ``self.expr`` so overrides compose.
+    """
+
     def __init__(self, types: dict[str, Type]) -> None:
         self.types = types
         self.lines: list[str] = []
@@ -161,11 +168,31 @@ class _Emitter:
             raise ValueError(f"cannot generate terminator {term!r}")
 
 
+def exec_namespace(**extra: object) -> dict:
+    """The globals dict generated machine code executes under.
+
+    Restricted builtins plus the intrinsic implementations; *extra* entries
+    (e.g. the trace JIT's ``ExecutionError``) are merged in.
+    """
+    namespace: dict = {
+        "__builtins__": {
+            "bool": bool,
+            "int": int,
+            "float": float,
+            "abs": abs,
+        },
+    }
+    for name, impl in _INTRINSIC_IMPLS.items():
+        namespace[f"_intr_{name}"] = impl
+    namespace.update(extra)
+    return namespace
+
+
 def compile_block_fn(
     blk: BasicBlock, types: dict[str, Type]
 ) -> Callable[[dict, list], tuple[str, bool | None]]:
     """Compile one (call-free) basic block to ``f(env, mem) -> (next, taken)``."""
-    em = _Emitter(types)
+    em = ExprEmitter(types)
     for s in blk.stmts:
         if not isinstance(s, Assign):  # pragma: no cover - caller filters
             raise ValueError("codegen only handles call-free blocks")
@@ -177,16 +204,7 @@ def compile_block_fn(
     src += "    _ma = mem.append\n"
     src += "\n".join(em.lines) + "\n"
 
-    namespace: dict = {
-        "__builtins__": {
-            "bool": bool,
-            "int": int,
-            "float": float,
-            "abs": abs,
-        },
-    }
-    for name, impl in _INTRINSIC_IMPLS.items():
-        namespace[f"_intr_{name}"] = impl
+    namespace = exec_namespace()
     code = compile(src, f"<block {blk.label}>", "exec")
     exec(code, namespace)
     fn = namespace[fn_name]

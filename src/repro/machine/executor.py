@@ -209,6 +209,10 @@ class CompiledBlock:
     #: generated whole-block function (call-free blocks only):
     #: ``fastrun(env, mem) -> (next_label, taken)``
     fastrun: Callable | None = None
+    #: interned branch-predictor key ``(fn_name, label)`` (branch blocks only)
+    branch_key: tuple[str, str] | None = None
+    #: interned block-count key for nested (callee) frames: ``fn::label``
+    qual_key: str = ""
 
 
 @dataclass
@@ -223,6 +227,31 @@ class ExecutableFunction:
     local_defaults: dict[str, object]
     #: resolved callees for CallStmt dispatch
     callees: dict[str, "ExecutableFunction"] = field(default_factory=dict)
+    _count_keys: tuple[str, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def count_keys(self) -> tuple[str, ...]:
+        """Every block-count key one invocation can touch.
+
+        Own blocks count under their bare label (depth 0); blocks of every
+        transitively reachable callee count under ``fn::label``.  ``run``
+        pre-seeds the counts dict with these so the key set is identical
+        across invocations regardless of which calls actually execute.
+        """
+        if self._count_keys is None:
+            keys = list(self.blocks)
+            seen: set[str] = set()
+            stack = list(self.callees.values())
+            while stack:
+                callee = stack.pop()
+                if callee.name in seen:
+                    continue
+                seen.add(callee.name)
+                keys.extend(b.qual_key for b in callee.blocks.values())
+                stack.extend(callee.callees.values())
+            self._count_keys = tuple(keys)
+        return self._count_keys
 
 
 def _compile_terminator(term, types):
@@ -290,6 +319,8 @@ def compile_function(
             spill_cycles=spill,
             is_branch=is_branch,
             fastrun=fastrun,
+            branch_key=(fn.name, label) if is_branch else None,
+            qual_key=f"{fn.name}::{label}",
         )
     local_defaults = {
         name: (0.0 if t is Type.FLOAT else 0) for name, t in fn.locals.items()
@@ -399,7 +430,7 @@ class Executor:
 
         amap = self._address_map(env)
         counts: dict[str, int] | None = (
-            dict.fromkeys(exe.blocks, 0) if count_blocks else None
+            dict.fromkeys(exe.count_keys(), 0) if count_blocks else None
         )
         result = InvocationResult(0.0, block_counts=counts)
         self._run_cfg(exe, local_env, amap, factors, counts, result, depth=0)
@@ -420,13 +451,11 @@ class Executor:
             raise ExecutionError("call depth limit exceeded (recursive IR?)")
         blocks = exe.blocks
         cache_access = self.cache.access
-        address = amap.address
         elem = AddressMap.ELEM_SIZE
         bases = amap.bases
         branch_state = self.branch_state
         miss_cost = self.machine.branch_miss_cycles * factors.branch
         mem_factor = factors.mem
-        fn_name = exe.name
 
         label = exe.entry
         mem: list = []
@@ -440,20 +469,25 @@ class Executor:
         while label != _RETURN:
             blk = blocks[label]
             if counts is not None:
-                key = blk.label if depth == 0 else f"{fn_name}::{blk.label}"
-                counts[key] = counts.get(key, 0) + 1
+                counts[blk.label if depth == 0 else blk.qual_key] += 1
             cycles += blk.compute_cycles + blk.spill_cycles
 
             try:
                 fast = blk.fastrun
                 if fast is not None:
                     label_next, taken = fast(env, mem)
-                else:
+                elif blk.has_calls:
                     for step in blk.steps:
                         if type(step) is _CallStep:
                             self._do_call(step, exe, env, amap, factors, counts, result, depth)
                         else:
                             step(env, mem)
+                    label_next, taken = blk.term(env, mem)
+                else:
+                    # call-free block without generated code (codegen
+                    # disabled or stripped): plain closure dispatch
+                    for step in blk.steps:
+                        step(env, mem)
                     label_next, taken = blk.term(env, mem)
             except (KeyError, IndexError, ZeroDivisionError, OverflowError) as e:
                 raise ExecutionError(
@@ -470,7 +504,7 @@ class Executor:
                 mem.clear()
 
             if blk.is_branch:
-                key = (fn_name, label)
+                key = blk.branch_key
                 predicted = branch_state.get(key)
                 if predicted is not None and predicted != taken:
                     miss_cycles += miss_cost

@@ -1,0 +1,1257 @@
+"""Tier-1 execution: trace-JIT code generation for the rating hot path.
+
+Every rating method bottoms out in :meth:`Executor._run_cfg`, which
+dispatches one generated block function per basic block and one cache
+access per touched array element.  For the loop-dominated tuning sections
+that is still a lot of per-block overhead: a ``blocks[label]`` lookup, a
+Python call into the block function, ``(name, index)`` tuple traffic on
+the memory trace, a per-access ``bases[name] + i*8`` translation plus a
+``CacheSim.access`` call, and a ``(fn, label)`` predictor key per branch.
+
+This module removes that overhead with a classic trace JIT:
+
+* **Warmup** — the first :data:`JitConfig.warmup_invocations` invocations
+  of a compiled function run through the Tier-0 interpreter with block
+  counting forced on, accumulating block execution counts (the per-version
+  profile that decides what is hot).
+* **Trace formation** — hot, call-free blocks are stitched into superblock
+  traces: starting from the hottest unassigned block, the builder follows
+  the most-frequent successor until it meets a call, a cold or already
+  assigned block, or the trace head again (which closes the trace into a
+  loop).  Each trace has one entry and side exits at every branch that
+  leaves it.
+* **Code generation** — each trace is emitted as one real Python function
+  (``compile()``/``exec``) with scalars promoted to locals, inline address
+  arithmetic (``base + i*8`` appended straight to a batch that is drained
+  once per block through :meth:`CacheSim.access_many`), branch-predictor
+  keys folded to constant tuples, and block cycle costs folded to float
+  literals.  Hot loops whose trace closes on its head run inside a
+  ``while True:`` without ever returning to the dispatch loop.
+* **Caching** — generated trace sets land in a content-addressed
+  :class:`ExecutableCache` keyed by a digest of the function's rendered
+  IR, its per-block cycle costs, and the machine (the same scheme as the
+  compiler pipeline's ``VersionCache``), so re-rating a version across
+  consistency windows, search rounds, and worker tasks never regenerates
+  or re-warms code.
+
+**Exactness.**  Cycle accounting is bit-identical to Tier 0: per block the
+generated code performs the same float operations in the same order —
+``cycles += compute+spill`` (one pre-folded literal), a per-block memory
+drain whose sum accumulates access costs left-to-right exactly like the
+interpreter's loop, and the branch-miss charge.  Runtime cost factors
+(``CostFactors``) and the machine's branch-miss cost are passed in at call
+time, never baked into code, so one trace serves every version sharing the
+same IR and static costs.  Block counts, ``ExecutionError`` messages, the
+step budget, and memory state evolve identically; the differential fuzz
+suite (``tests/machine/test_executor_differential.py``) enforces this over
+random IR programs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..ir.block import BasicBlock
+from ..ir.expr import ArrayRef, BinOp, Call, Const, UnOp, Var, walk
+from ..ir.stmt import Assign, CondBranch, Jump, Return
+from ..ir.types import Type
+from .cache import AddressMap
+from .codegen import ExprEmitter, exec_namespace
+from .config import MachineConfig
+from .cost import infer_type
+from .executor import (
+    ExecutableFunction,
+    ExecutionError,
+    Executor,
+    InvocationResult,
+    _CallStep,
+)
+
+__all__ = [
+    "JitConfig",
+    "Trace",
+    "TraceSet",
+    "ExecutableCache",
+    "TieredExecutor",
+    "create_executor",
+    "executable_digest",
+    "global_executable_cache",
+    "EXEC_TIERS",
+]
+
+_RETURN = "<return>"
+_ELEM = AddressMap.ELEM_SIZE
+
+EXEC_TIERS = (0, 1)
+
+
+@dataclass(frozen=True)
+class JitConfig:
+    """Tier-1 tuning knobs (defaults are deliberately conservative)."""
+
+    #: Tier-0 invocations per compiled function before traces are formed
+    warmup_invocations: int = 2
+    #: total warmup entries a block needs to seed or extend a trace
+    hot_block_count: int = 16
+    #: superblock length cap (bounds side-exit code duplication)
+    max_trace_blocks: int = 16
+
+
+# --------------------------------------------------------------------------- #
+# content-addressed executable cache
+
+
+def executable_digest(exe: ExecutableFunction, machine: MachineConfig) -> str:
+    """Digest identifying the generated code for one compiled function.
+
+    Covers the rendered IR, every per-block static cost (the channel
+    through which the optimizing compiler's effect model differentiates
+    versions of identical IR), and the machine — mirroring the version-key
+    scheme of the compiler pipeline's ``VersionCache``.  Runtime inputs
+    (cost factors, cache and predictor state) are call arguments of the
+    generated code and deliberately not part of the key.
+    """
+    h = hashlib.sha256()
+    h.update(str(exe.source).encode())
+    h.update(b"\x00")
+    h.update(repr(machine).encode())
+    for label in sorted(exe.blocks):
+        blk = exe.blocks[label]
+        h.update(
+            f"\x1f{label}\x1e{blk.compute_cycles!r}\x1e{blk.spill_cycles!r}".encode()
+        )
+    return h.hexdigest()
+
+
+class ExecutableCache:
+    """Thread-safe content-addressed cache of compiled :class:`TraceSet`\\ s.
+
+    Keyed by :func:`executable_digest`; shared process-wide by default so
+    every rating task, consistency window, and search round that touches a
+    version with the same IR and costs reuses one set of code objects
+    (worker processes each hold their own instance, like the version
+    cache).
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: dict[str, TraceSet] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def get(self, key: str) -> "TraceSet | None":
+        with self._lock:
+            ts = self._entries.get(key)
+            if ts is not None:
+                self.hits += 1
+            return ts
+
+    def put(self, key: str, traceset: "TraceSet") -> None:
+        with self._lock:
+            self.misses += 1
+            if (
+                self.max_entries is not None
+                and key not in self._entries
+                and len(self._entries) >= self.max_entries
+            ):
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = traceset
+
+
+_GLOBAL_CACHE = ExecutableCache()
+
+
+def global_executable_cache() -> ExecutableCache:
+    """The process-wide default trace-code cache."""
+    return _GLOBAL_CACHE
+
+
+# --------------------------------------------------------------------------- #
+# trace formation
+
+
+def _successors(blk: BasicBlock) -> tuple[str, ...]:
+    term = blk.terminator
+    if isinstance(term, Jump):
+        return (term.target,)
+    if isinstance(term, CondBranch):
+        return (term.then, term.orelse)
+    return ()
+
+
+def _grow_trace(
+    head: str,
+    exe: ExecutableFunction,
+    counts: dict[str, int],
+    hot: set[str],
+    assigned: set[str],
+    cfg: JitConfig,
+) -> tuple[list[str], bool]:
+    """Grow one superblock from *head* along the most-frequent successors."""
+    labels = [head]
+    loop = False
+    src_blocks = exe.source.cfg.blocks
+    while len(labels) < cfg.max_trace_blocks:
+        succs = _successors(src_blocks[labels[-1]])
+        if not succs:
+            break
+        # max() keeps the first (syntactic) successor on count ties
+        pref = max(succs, key=lambda s: counts.get(s, 0))
+        if pref == head:
+            loop = True
+            break
+        if pref in labels or pref in assigned or pref not in hot:
+            break
+        labels.append(pref)
+    return labels, loop
+
+
+def build_traces(
+    exe: ExecutableFunction,
+    counts: dict[str, int],
+    cfg: JitConfig,
+    machine: MachineConfig,
+) -> "TraceSet":
+    """Form superblock traces for *exe* from warmup block counts."""
+    hot = {
+        label
+        for label, blk in exe.blocks.items()
+        if counts.get(label, 0) >= cfg.hot_block_count and not blk.has_calls
+    }
+    assigned: set[str] = set()
+    traces: list[Trace] = []
+    for head in sorted(hot, key=lambda lbl: (-counts.get(lbl, 0), lbl)):
+        if head in assigned:
+            continue
+        labels, loop = _grow_trace(head, exe, counts, hot, assigned, cfg)
+        if len(labels) == 1 and not loop:
+            continue  # a lone straight-line block gains nothing over fastrun
+        assigned.update(labels)
+        traces.append(Trace(exe, tuple(labels), loop, machine))
+    return TraceSet(exe.name, traces)
+
+
+# --------------------------------------------------------------------------- #
+# trace code generation
+
+
+class _InlineCache:
+    """Codegen parameters for site-inlined cache checks.
+
+    Valid when the machine's cache has power-of-two geometry, a line no
+    smaller than one element, and integral access costs — both paper
+    machines qualify.  Bases are line-aligned (see :class:`AddressMap`),
+    so ``(base + i*8) >> line_shift`` decomposes into
+    ``(base >> line_shift) + (i >> idx_shift)`` exactly.  Sets store line
+    indices (see :class:`CacheSim`): direct-mapped checks are a single
+    compare against the slot, set-associative checks compare the MRU way
+    inline and fall into :func:`_assoc_slow` otherwise.
+    """
+
+    __slots__ = ("line_shift", "idx_shift", "set_mask", "assoc", "hit", "miss")
+
+    def __init__(self, machine: MachineConfig) -> None:
+        n_sets = machine.cache_size // (machine.cache_line * machine.cache_assoc)
+        self.line_shift = machine.cache_line.bit_length() - 1
+        self.idx_shift = self.line_shift - (_ELEM.bit_length() - 1)
+        self.set_mask = n_sets - 1
+        self.assoc = machine.cache_assoc
+        self.hit = machine.cache_hit_cycles
+        self.miss = machine.cache_miss_cycles
+
+    @staticmethod
+    def supports(machine: MachineConfig) -> bool:
+        line = machine.cache_line
+        n_sets = machine.cache_size // (line * machine.cache_assoc)
+        return (
+            line >= _ELEM
+            and line & (line - 1) == 0
+            and n_sets & (n_sets - 1) == 0
+            and float(machine.cache_hit_cycles).is_integer()
+            and float(machine.cache_miss_cycles).is_integer()
+        )
+
+
+def _assoc_slow(ways: list, x: int, assoc: int) -> bool:
+    """Non-MRU access to one LRU set; True on hit.  Mirrors
+    :meth:`CacheSim.access` exactly (the caller already handled the MRU
+    fast path and logged a pre-image of *ways* for exception rollback)."""
+    try:
+        ways.remove(x)
+    except ValueError:
+        ways.append(x)
+        if len(ways) > assoc:
+            ways.pop(0)
+        return False
+    ways.append(x)
+    return True
+
+
+class _TraceEmitter(ExprEmitter):
+    """Expression emitter with promoted locals and inline addresses."""
+
+    def __init__(
+        self,
+        types: dict[str, Type],
+        scalar_sym: dict[str, str],
+        array_sym: dict[str, tuple[str, str]],
+        inline: _InlineCache | None = None,
+        memo_sym: dict[str, str] | None = None,
+    ) -> None:
+        super().__init__(types)
+        self.scalar_sym = scalar_sym
+        self.array_sym = array_sym
+        self.inline = inline
+        self.memo_sym = memo_sym if memo_sym is not None else {}
+        # per-block state (see begin_block)
+        self.block_static: int | None = None
+        self.base_indent = self.indent
+        self._cse: dict[str, str] = {}
+        self._elide: set[tuple[str, str]] = set()
+
+    def begin_block(self, static_accesses: int | None) -> None:
+        """Start a block; *static_accesses* is its unconditional access
+        count, or ``None`` when some access executes conditionally (which
+        forces dynamic hit counting)."""
+        self.block_static = static_accesses
+        self.base_indent = self.indent
+
+    def _invalidate(self, sym: str) -> None:
+        # a scalar was reassigned: syntactic index reuse is no longer the
+        # same value, so drop its CSE/elision entries
+        self._cse.pop(sym, None)
+        self._elide = {k for k in self._elide if k[1] != sym}
+
+    def _index_tmp(self, index) -> str:
+        # cheap, effect-free int indexes need no temporary
+        if infer_type(index, self.types) is not Type.FLOAT:
+            if isinstance(index, Var):
+                sym = self.scalar_sym.get(index.name)
+                if sym is not None:
+                    return sym
+            elif isinstance(index, Const):
+                return repr(index.value)
+        idx = self.expr(index)
+        tmp = self.fresh()
+        if infer_type(index, self.types) is Type.FLOAT:
+            self.emit(f"{tmp} = int({idx})")
+        else:
+            self.emit(f"{tmp} = {idx}")
+        return tmp
+
+    def _array(self, name: str) -> tuple[str, str]:
+        sym = self.array_sym.get(name)
+        if sym is not None:
+            return sym
+        return f"env[{name!r}]", f"_bases[{name!r}]"  # unpromoted fallback
+
+    def _shifted(self, idx: str) -> str:
+        """Line offset ``idx >> idx_shift``, CSE'd while *idx* is unchanged."""
+        p = self.inline
+        if p.idx_shift == 0:
+            return idx
+        shifted = self._cse.get(idx)
+        if shifted is None:
+            if self.indent == self.base_indent:
+                shifted = self.fresh()
+                self.emit(f"{shifted} = {idx} >> {p.idx_shift}")
+                self._cse[idx] = shifted
+            else:
+                # conditionally executed: don't define a reusable temp
+                shifted = f"({idx} >> {p.idx_shift})"
+        return shifted
+
+    def _emit_access(self, name: str, base: str, idx: str) -> None:
+        """Record one element access for the cache simulation.
+
+        Default mode appends the address for the per-block
+        ``access_many`` drain; inline mode performs the cache check on
+        the spot (state mutations log an undo entry to ``_u`` so an
+        exception later in the block can restore the exact Tier-0 cache
+        state).  With a per-array memo (windowed
+        traces — see ``Trace.generate_source``) the common case is one
+        compare, and a repeated ``(array, index)`` access cannot miss
+        while the window precondition holds, so it is elided entirely.
+        """
+        p = self.inline
+        if p is None:
+            self.emit(f"_ap({base} + {idx}*{_ELEM})")
+            return
+        static = self.block_static is not None
+        memo = self.memo_sym.get(name)
+        if memo is not None:
+            key = (name, idx)
+            if key in self._elide:
+                if not static:
+                    self.emit("_bh += 1")
+                return
+            if self.indent == self.base_indent:
+                self._elide.add(key)
+        shifted = self._shifted(idx)
+        x = self.fresh()
+        self.emit(f"{x} = {base} + {shifted}")
+        if memo is None:
+            self._emit_check(x, static)
+            return
+        self.emit(f"if {x} != {memo}:")
+        self.indent += 1
+        self._emit_check(x, static)
+        self.emit(f"{memo} = {x}")
+        self.indent -= 1
+        if not static:
+            self.emit("else:")
+            self.emit("    _bh += 1")
+
+    def _emit_check(self, x: str, static: bool) -> None:
+        """Residency check for line *x* at the current indent.
+
+        Direct-mapped: one compare against the slot; a miss logs the old
+        slot value to ``_u``.  Set-associative: the MRU way is compared
+        inline (an MRU hit mutates nothing, exactly like Tier 0's fast
+        path); anything else snapshots the set's way list to ``_u`` and
+        goes through :func:`_assoc_slow`, which replays Tier 0's LRU
+        update and reports hit/miss.
+        """
+        p = self.inline
+        s = self.fresh()
+        if p.assoc == 1:
+            self.emit(f"{s} = {x} & {p.set_mask}")
+            self.emit(f"if _dt[{s}] != {x}:")
+            self.emit(f"    _u.append(({s}, _dt[{s}]))")
+            self.emit(f"    _dt[{s}] = {x}")
+            self.emit("    _bm += 1")
+            if not static:
+                self.emit("else:")
+                self.emit("    _bh += 1")
+            return
+        self.emit(f"{s} = _dt[{x} & {p.set_mask}]")
+        if static:
+            self.emit(f"if not ({s} and {s}[-1] == {x}):")
+            self.emit(f"    _u.append(({s}, {s}[:]))")
+            self.emit(f"    if not _aslow({s}, {x}, {p.assoc}):")
+            self.emit("        _bm += 1")
+            return
+        self.emit(f"if {s} and {s}[-1] == {x}:")
+        self.emit("    _bh += 1")
+        self.emit("else:")
+        self.emit(f"    _u.append(({s}, {s}[:]))")
+        self.emit(f"    if _aslow({s}, {x}, {p.assoc}):")
+        self.emit("        _bh += 1")
+        self.emit("    else:")
+        self.emit("        _bm += 1")
+
+    def expr(self, e):
+        if isinstance(e, Var):
+            sym = self.scalar_sym.get(e.name)
+            return sym if sym is not None else f"env[{e.name!r}]"
+        if isinstance(e, ArrayRef):
+            tmp = self._index_tmp(e.index)
+            arr, base = self._array(e.array)
+            self._emit_access(e.array, base, tmp)
+            return f"{arr}[{tmp}]"
+        return super().expr(e)
+
+    def stmt(self, s: Assign) -> None:
+        if isinstance(s.target, ArrayRef):
+            tmp = self._index_tmp(s.target.index)
+            arr, base = self._array(s.target.array)
+            self._emit_access(s.target.array, base, tmp)
+            value = self.expr(s.expr)
+            self.emit(f"{arr}[{tmp}] = {value}")
+            return
+        value = self.expr(s.expr)
+        sym = self.scalar_sym.get(s.target.name)
+        if sym is not None:
+            self.emit(f"{sym} = {value}")
+            self._invalidate(sym)
+        else:
+            self.emit(f"env[{s.target.name!r}] = {value}")
+
+
+def _scan_names(blocks: Iterable[BasicBlock]) -> tuple[set, set, set]:
+    """Scalar reads+writes, assigned scalars, and arrays used in *blocks*."""
+    scalars: set[str] = set()
+    assigned: set[str] = set()
+    arrays: set[str] = set()
+
+    def scan_expr(e) -> None:
+        for node in walk(e):
+            if isinstance(node, Var):
+                scalars.add(node.name)
+            elif isinstance(node, ArrayRef):
+                arrays.add(node.array)
+
+    for blk in blocks:
+        for s in blk.stmts:
+            scan_expr(s.expr)
+            if isinstance(s.target, ArrayRef):
+                arrays.add(s.target.array)
+                scan_expr(s.target.index)
+            else:
+                scalars.add(s.target.name)
+                assigned.add(s.target.name)
+        term = blk.terminator
+        if isinstance(term, CondBranch):
+            scan_expr(term.cond)
+        elif isinstance(term, Return) and term.value is not None:
+            scan_expr(term.value)
+    return scalars, assigned, arrays
+
+
+def _scan_accesses(blk: BasicBlock) -> tuple[int, bool]:
+    """Total array accesses in *blk* and whether any runs conditionally.
+
+    An access inside the right operand of ``&&``/``||`` executes only when
+    the left side demands it, so its block cannot use a static hit count.
+    """
+    total = 0
+    conditional = False
+
+    def scan(e, in_cond: bool) -> None:
+        nonlocal total, conditional
+        if isinstance(e, ArrayRef):
+            total += 1
+            if in_cond:
+                conditional = True
+            scan(e.index, in_cond)
+        elif isinstance(e, BinOp):
+            if e.op in ("&&", "||"):
+                scan(e.left, in_cond)
+                scan(e.right, True)
+            else:
+                scan(e.left, in_cond)
+                scan(e.right, in_cond)
+        elif isinstance(e, UnOp):
+            scan(e.operand, in_cond)
+        elif isinstance(e, Call):
+            for a in e.args:
+                scan(a, in_cond)
+
+    for s in blk.stmts:
+        if isinstance(s.target, ArrayRef):
+            total += 1
+            scan(s.target.index, False)
+        scan(s.expr, False)
+    term = blk.terminator
+    if isinstance(term, CondBranch):
+        scan(term.cond, False)
+    elif isinstance(term, Return) and term.value is not None:
+        scan(term.value, False)
+    return total, conditional
+
+
+def _window_fits(
+    bases: dict[str, int],
+    env: dict[str, object],
+    n_sets: int,
+    line: int,
+) -> bool:
+    """True when every reachable address of *env*'s arrays maps to a
+    distinct cache line **set** — i.e. the whole working set (including the
+    negative-index wrap range Python permits) spans fewer lines than the
+    cache has sets, so no access can ever evict another's line during a
+    trace run.  Under that precondition a trace may trust per-array
+    line memos and elide repeated accesses (windowed codegen)."""
+    lo = hi = None
+    for name, value in env.items():
+        if not hasattr(value, "__len__"):
+            continue
+        base = bases.get(name)
+        if base is None:  # pragma: no cover - arrays always have bases
+            return False
+        nbytes = len(value) * _ELEM
+        alo = base - nbytes
+        ahi = base + nbytes
+        if lo is None:
+            lo, hi = alo, ahi
+        else:
+            if alo < lo:
+                lo = alo
+            if ahi > hi:
+                hi = ahi
+    if lo is None:
+        return True
+    return hi // line - lo // line < n_sets
+
+
+class Trace:
+    """One superblock: an entry label, its member blocks, and their code.
+
+    Source is generated twice (with and without block counting); the
+    counting source takes its count keys from the frame depth, so variants
+    are bound lazily per ``(counting, depth0)`` by :class:`TraceSet`.
+    """
+
+    __slots__ = ("entry", "labels", "loop", "_exe", "_machine")
+
+    def __init__(
+        self,
+        exe: ExecutableFunction,
+        labels: tuple[str, ...],
+        loop: bool,
+        machine: MachineConfig,
+    ) -> None:
+        self.entry = labels[0]
+        self.labels = labels
+        self.loop = loop
+        self._exe = exe
+        self._machine = machine
+
+    # -- source generation ---------------------------------------------- #
+
+    def generate_source(
+        self, *, counting: bool, depth0: bool, windowed: bool = False
+    ) -> str:
+        exe = self._exe
+        fn = exe.source
+        types = fn.all_vars()
+        src_blocks = [fn.cfg.blocks[label] for label in self.labels]
+        scalars, assigned, arrays = _scan_names(src_blocks)
+        # a name used both as a scalar and as an array is left in env
+        clash = scalars & arrays
+        scalar_sym = {
+            name: f"_v{i}"
+            for i, name in enumerate(sorted(scalars - clash))
+        }
+        array_sym = {
+            name: (f"_a{i}", f"_b{i}")
+            for i, name in enumerate(sorted(arrays - clash))
+        }
+        writebacks = [
+            f"env[{name!r}] = {scalar_sym[name]}"
+            for name in sorted(assigned - clash)
+        ]
+        count_key = {
+            label: (label if depth0 else exe.blocks[label].qual_key)
+            for label in self.labels
+        }
+        flushes = (
+            [
+                f"_counts[{count_key[label]!r}] += _n{i}"
+                for i, label in enumerate(self.labels)
+            ]
+            if counting
+            else []
+        )
+        # Machines with power-of-two cache geometry and integral access
+        # costs get the line check inlined at every access site (geometry
+        # and costs folded to literals — the machine is part of the
+        # code-cache digest, so this is sound).  Per-block hit/miss
+        # counters make the drain two multiplies; with integral costs the
+        # count-based total equals Tier 0's sequential per-access sum
+        # exactly.  Blocks whose accesses all execute unconditionally get
+        # a *static* hit count: sites only track misses and the drain
+        # recovers hits as ``K - misses``.  Everything else drains through
+        # ``access_many``, whose own loop preserves Tier 0's summation
+        # order.  Unpromoted (name clash) arrays would interleave with the
+        # site-inlined checks out of order, so any clash falls back to the
+        # drain path too.
+        #
+        # The *windowed* variant is selected per invocation by the
+        # dispatcher when ``_window_fits`` holds (every reachable address
+        # of the frame's arrays maps to a distinct set, so nothing the
+        # trace does can evict a line it already touched).  It keeps a
+        # last-line memo per array — the steady-state check is one int
+        # compare — and elides repeated (array, index) accesses outright.
+        machine = self._machine
+        inline = (
+            _InlineCache(machine)
+            if _InlineCache.supports(machine) and not (clash & arrays)
+            else None
+        )
+        windowed = windowed and inline is not None
+        memo_sym = (
+            {name: f"_m{i}" for i, name in enumerate(sorted(arrays))}
+            if windowed
+            else {}
+        )
+        access_info = [_scan_accesses(src) for src in src_blocks]
+
+        def drain_for(i: int) -> list[str]:
+            n_acc, has_cond = access_info[i]
+            if n_acc == 0:
+                return []
+            if inline is None:
+                return [
+                    "if _mem:",
+                    "    _d = _am(_mem) * _mf",
+                    "    _memc += _d",
+                    "    _cyc += _d",
+                    "    del _mem[:]",
+                ]
+            if has_cond:
+                return [
+                    "if _bh or _bm:",
+                    f"    _d = _bh * {inline.hit!r} + _bm * {inline.miss!r}",
+                    "    _d *= _mf",
+                    "    _memc += _d",
+                    "    _cyc += _d",
+                    "    _nh += _bh",
+                    "    _nm += _bm",
+                    "    _bh = 0",
+                    "    _bm = 0",
+                    "    del _u[:]",
+                ]
+            return [
+                "if _bm:",
+                f"    _d = ({n_acc} - _bm) * {inline.hit!r}"
+                f" + _bm * {inline.miss!r}",
+                "    _d *= _mf",
+                "    _memc += _d",
+                "    _cyc += _d",
+                f"    _nh += {n_acc} - _bm",
+                "    _nm += _bm",
+                "    _bm = 0",
+                "    del _u[:]",
+                "else:",
+                f"    _d = {n_acc * inline.hit!r}",
+                "    _d *= _mf",
+                "    _memc += _d",
+                "    _cyc += _d",
+                f"    _nh += {n_acc}",
+            ]
+
+        stat_flush = (
+            ["_ch.hits += _nh", "_ch.misses += _nm"]
+            if inline is not None
+            else []
+        )
+
+        # Branch-predictor entries are promoted to locals for the duration of
+        # one trace call (no other code touches these keys while the trace
+        # runs) and written back at every exit, error paths included.
+        branch_sym = {
+            label: f"_pb{i}"
+            for i, label in enumerate(self.labels)
+            if exe.blocks[label].is_branch
+        }
+        branch_init = [
+            f"{sym} = _bs.get({exe.blocks[label].branch_key!r})"
+            for label, sym in branch_sym.items()
+        ]
+        stat_flush += [
+            f"if {sym} is not None: _bs[{exe.blocks[label].branch_key!r}] = {sym}"
+            for label, sym in branch_sym.items()
+        ]
+
+        em = _TraceEmitter(types, scalar_sym, array_sym, inline, memo_sym)
+        em.indent = 2  # inside def + try
+
+        for name in sorted(scalars - clash):
+            em.emit(f"{scalar_sym[name]} = env[{name!r}]")
+        for name in sorted(arrays - clash):
+            arr, base = array_sym[name]
+            em.emit(f"{arr} = env[{name!r}]")
+            if inline is not None:
+                # promoted line-index base: (base + i*8) >> shift splits
+                em.emit(f"{base} = _bases[{name!r}] >> {inline.line_shift}")
+            else:
+                em.emit(f"{base} = _bases[{name!r}]")
+        if inline is not None:
+            em.emit("_bh = 0")
+            em.emit("_bm = 0")
+        for name in sorted(memo_sym):
+            em.emit(f"{memo_sym[name]} = None")
+        if counting:
+            for i in range(len(self.labels)):
+                em.emit(f"_n{i} = 0")
+
+        def emit_exit(target_expr: str, done: int) -> None:
+            if done:
+                em.emit(f"_bgt -= {done}")
+            for line in writebacks:
+                em.emit(line)
+            for line in flushes:
+                em.emit(line)
+            for line in stat_flush:
+                em.emit(line)
+            em.emit(f"return ({target_expr}, _cyc, _memc, _missc, _bgt)")
+
+        # Step-budget accounting is hoisted out of the block bodies: one
+        # guard per pass ensures the budget covers the whole trace, and
+        # each exit path subtracts the blocks it actually ran.  When the
+        # guard fails it returns without progress (same label, same
+        # budget); the dispatcher detects that and interprets block by
+        # block, reproducing Tier 0's exact exhaustion point and error.
+        n = len(self.labels)
+        guard = [
+            f"if _bgt <= {n}:",
+        ]
+        if not self.loop:
+            for line in guard:
+                em.emit(line)
+            em.indent += 1
+            emit_exit(f"{self.entry!r}", 0)
+            em.indent -= 1
+        else:
+            em.emit("while True:")
+            em.indent += 1
+            for line in guard:
+                em.emit(line)
+            em.indent += 1
+            emit_exit(f"{self.entry!r}", 0)
+            em.indent -= 1
+
+        for i, label in enumerate(self.labels):
+            blk = exe.blocks[label]
+            src = src_blocks[i]
+            em.emit(f"# -- {label}")
+            em.emit(f"_lbl = {label!r}")
+            em.begin_block(None if access_info[i][1] else access_info[i][0])
+            if counting:
+                em.emit(f"_n{i} += 1")
+            em.emit(f"_cyc += {blk.compute_cycles + blk.spill_cycles!r}")
+            for s in src.stmts:
+                em.stmt(s)
+            term = src.terminator
+            cond_sym = None
+            ret_emitted = False
+            if isinstance(term, CondBranch):
+                cond = em.expr(term.cond)
+                em.emit(f"_t = bool({cond})")
+                cond_sym = "_t"
+            elif isinstance(term, Return):
+                if term.value is not None:
+                    value = em.expr(term.value)
+                    em.emit(f"env['<ret>'] = {value}")
+                ret_emitted = True
+            # memory drain: exactly Tier 0's `if mem:` per-block flush
+            for line in drain_for(i):
+                em.emit(line)
+            if cond_sym is not None:
+                sym = branch_sym[label]
+                em.emit(f"if {sym} is not None and {sym} != {cond_sym}:")
+                em.indent += 1
+                em.emit("_missc += _bmc")
+                em.emit("_cyc += _bmc")
+                em.indent -= 1
+                em.emit(f"{sym} = {cond_sym}")
+
+            # dispatch
+            next_in = (
+                self.labels[i + 1]
+                if i + 1 < n
+                else (self.entry if self.loop else None)
+            )
+            if ret_emitted:
+                emit_exit(f"{_RETURN!r}", i + 1)
+            elif isinstance(term, Jump):
+                if term.target == next_in:
+                    if next_in == self.entry and i == n - 1:
+                        em.emit(f"_bgt -= {n}")
+                        em.emit("continue")
+                    # else: fall through to the next block's code
+                else:
+                    emit_exit(f"{term.target!r}", i + 1)
+            else:  # CondBranch
+                then, orelse = term.then, term.orelse
+                if then == orelse:
+                    if then == next_in:
+                        if next_in == self.entry and i == n - 1:
+                            em.emit(f"_bgt -= {n}")
+                            em.emit("continue")
+                    else:
+                        emit_exit(f"{then!r}", i + 1)
+                elif next_in == then:
+                    em.emit("if not _t:")
+                    em.indent += 1
+                    emit_exit(f"{orelse!r}", i + 1)
+                    em.indent -= 1
+                    if next_in == self.entry and i == n - 1:
+                        em.emit(f"_bgt -= {n}")
+                        em.emit("continue")
+                elif next_in == orelse:
+                    em.emit("if _t:")
+                    em.indent += 1
+                    emit_exit(f"{then!r}", i + 1)
+                    em.indent -= 1
+                    if next_in == self.entry and i == n - 1:
+                        em.emit(f"_bgt -= {n}")
+                        em.emit("continue")
+                else:  # both directions leave the trace
+                    em.emit("if _t:")
+                    em.indent += 1
+                    emit_exit(f"{then!r}", i + 1)
+                    em.indent -= 1
+                    emit_exit(f"{orelse!r}", i + 1)
+
+        # The current (partial) block's cache writes are rolled back on an
+        # exception — Tier 0 only simulates a block's accesses after the
+        # block completes, so a failing block must leave no cache
+        # footprint.  Direct-mapped undo entries are (slot, old line);
+        # associative entries are (way list, pre-image snapshot), restored
+        # in reverse so repeated mutations of one set end at the oldest
+        # snapshot.
+        if inline is None:
+            rollback = []
+        elif inline.assoc == 1:
+            rollback = [
+                "while _u:",
+                "    _rs, _rt = _u.pop()",
+                "    _dt[_rs] = _rt",
+            ]
+        else:
+            rollback = [
+                "while _u:",
+                "    _rw, _rc = _u.pop()",
+                "    _rw[:] = _rc",
+            ]
+        header = [
+            "def _trace(env, _bases, _am, _bs, _counts, _mf, _bmc,"
+            " _cyc, _memc, _missc, _bgt, _ch, _dt):",
+            "    _mem = []",
+            "    _ap = _mem.append",
+            f"    _lbl = {self.entry!r}",
+            "    _nh = 0",
+            "    _nm = 0",
+            "    _u = []",
+            *[f"    {line}" for line in branch_init],
+            "    try:",
+        ]
+        footer = [
+            "    except (KeyError, IndexError, ZeroDivisionError,"
+            " OverflowError) as _e:",
+            *[f"        {line}" for line in rollback],
+            *[f"        {line}" for line in stat_flush],
+            f"        raise _EE({exe.name!r} + '/' + _lbl"
+            " + ': runtime error ' + type(_e).__name__ + ': ' + str(_e))"
+            " from _e",
+        ]
+        return "\n".join(header + em.lines + footer) + "\n"
+
+    def compile(
+        self, *, counting: bool, depth0: bool, windowed: bool = False
+    ) -> Callable:
+        src = self.generate_source(
+            counting=counting, depth0=depth0, windowed=windowed
+        )
+        namespace = exec_namespace(
+            _EE=ExecutionError,
+            _aslow=_assoc_slow,
+            type=type,
+            str=str,
+            KeyError=KeyError,
+            IndexError=IndexError,
+            ZeroDivisionError=ZeroDivisionError,
+            OverflowError=OverflowError,
+        )
+        code = compile(src, f"<trace {self._exe.name}:{self.entry}>", "exec")
+        exec(code, namespace)
+        fn = namespace["_trace"]
+        fn.__source__ = src  # for debugging
+        return fn
+
+
+class TraceSet:
+    """All traces of one function plus lazily bound call variants."""
+
+    def __init__(self, fn_name: str, traces: list[Trace]) -> None:
+        self.fn_name = fn_name
+        self.traces = {t.entry: t for t in traces}
+        self._lock = threading.Lock()
+        self._fns: dict[tuple[bool, bool, bool], dict[str, Callable]] = {}
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    @property
+    def heads(self) -> tuple[str, ...]:
+        return tuple(self.traces)
+
+    def fns_for(
+        self, counting: bool, depth0: bool, windowed: bool = False
+    ) -> dict[str, Callable]:
+        """Trace entry -> generated function for one calling context."""
+        key = (counting, depth0 if counting else True, windowed)
+        fns = self._fns.get(key)
+        if fns is None:
+            with self._lock:
+                fns = self._fns.get(key)
+                if fns is None:
+                    fns = {
+                        entry: t.compile(
+                            counting=counting, depth0=key[1], windowed=windowed
+                        )
+                        for entry, t in self.traces.items()
+                    }
+                    self._fns[key] = fns
+        return fns
+
+
+# --------------------------------------------------------------------------- #
+# the tiered executor
+
+
+class _JitState:
+    """Per-compiled-function JIT bookkeeping (attached to the executable)."""
+
+    __slots__ = ("invocations", "prof_counts", "traceset", "digest", "lock")
+
+    def __init__(self, exe: ExecutableFunction, digest: str) -> None:
+        self.invocations = 0
+        self.prof_counts: dict[str, int] = dict.fromkeys(exe.blocks, 0)
+        self.traceset: TraceSet | None = None
+        self.digest = digest
+        self.lock = threading.Lock()
+
+
+_STATE_LOCK = threading.Lock()
+
+
+class _CountDict(dict):
+    """Self-seeding counts dict for warmup runs that did not ask to count."""
+
+    def __missing__(self, key: str) -> int:
+        return 0
+
+
+class TieredExecutor(Executor):
+    """Tier-1 executor: Tier-0 semantics, trace-JIT speed.
+
+    Drop-in subclass of :class:`Executor`; identical machine state
+    (cache, predictor) and bit-identical :class:`InvocationResult`\\ s.
+    Functions warm up under the Tier-0 interpreter, then hot paths run
+    through generated superblock code served from a shared
+    :class:`ExecutableCache`.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        *,
+        jit: JitConfig | None = None,
+        code_cache: ExecutableCache | None = None,
+    ) -> None:
+        super().__init__(machine)
+        self.jit = jit if jit is not None else JitConfig()
+        self.code_cache = (
+            code_cache if code_cache is not None else _GLOBAL_CACHE
+        )
+        self._inline_ok = _InlineCache.supports(machine)
+        self._win_line = machine.cache_line
+        self._win_sets = machine.cache_size // (
+            machine.cache_line * machine.cache_assoc
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _state_for(self, exe: ExecutableFunction) -> _JitState:
+        state = getattr(exe, "_jit_state", None)
+        if state is None:
+            with _STATE_LOCK:
+                state = getattr(exe, "_jit_state", None)
+                if state is None:
+                    digest = executable_digest(exe, self.machine)
+                    state = _JitState(exe, digest)
+                    state.traceset = self.code_cache.get(digest)
+                    exe._jit_state = state
+        return state
+
+    def _run_cfg(
+        self,
+        exe: ExecutableFunction,
+        env: dict[str, object],
+        amap: AddressMap,
+        factors,
+        counts: dict[str, int] | None,
+        result: InvocationResult,
+        depth: int,
+    ) -> None:
+        state = self._state_for(exe)
+        ts = state.traceset
+        if ts is None:
+            self._warmup_run(exe, state, env, amap, factors, counts, result, depth)
+            return
+        if ts.traces:
+            self._run_cfg_traced(
+                exe, ts, env, amap, factors, counts, result, depth
+            )
+        else:
+            super()._run_cfg(exe, env, amap, factors, counts, result, depth)
+
+    # -- warmup --------------------------------------------------------- #
+
+    def _warmup_run(
+        self, exe, state, env, amap, factors, counts, result, depth
+    ) -> None:
+        """One Tier-0 invocation with block counting forced on."""
+        keyed = [
+            (blk.label, blk.label if depth == 0 else blk.qual_key)
+            for blk in exe.blocks.values()
+        ]
+        if counts is None:
+            prof: dict[str, int] = _CountDict()
+            before = dict.fromkeys((k for _, k in keyed), 0)
+        else:
+            prof = counts
+            before = {k: counts.get(k, 0) for _, k in keyed}
+        super()._run_cfg(exe, env, amap, factors, prof, result, depth)
+        own = state.prof_counts
+        for label, key in keyed:
+            own[label] += prof[key] - before[key]
+        state.invocations += 1
+        if state.invocations >= self.jit.warmup_invocations:
+            self._build_traces(exe, state)
+
+    def _build_traces(self, exe: ExecutableFunction, state: _JitState) -> None:
+        with state.lock:
+            if state.traceset is not None:
+                return
+            ts = build_traces(exe, state.prof_counts, self.jit, self.machine)
+            self.code_cache.put(state.digest, ts)
+            state.traceset = ts
+
+    # -- traced dispatch ------------------------------------------------ #
+
+    def _run_cfg_traced(
+        self, exe, ts, env, amap, factors, counts, result, depth
+    ) -> None:
+        # Mirrors Executor._run_cfg exactly, with a trace-entry hook at the
+        # top of the dispatch loop.  Accounting order per block is
+        # identical whether a block runs here or inside generated code.
+        if depth > 32:
+            raise ExecutionError("call depth limit exceeded (recursive IR?)")
+        blocks = exe.blocks
+        cache = self.cache
+        cache_access = cache.access
+        access_many = cache.access_many
+        # the generated code's `_dt`: the direct-mapped slot array, or the
+        # per-set way lists for associative machines
+        cache_direct = cache._direct if cache._direct is not None else cache._sets
+        elem = AddressMap.ELEM_SIZE
+        bases = amap.bases
+        branch_state = self.branch_state
+        miss_cost = self.machine.branch_miss_cycles * factors.branch
+        mem_factor = factors.mem
+        windowed = self._inline_ok and _window_fits(
+            bases, env, self._win_sets, self._win_line
+        )
+        traces = ts.fns_for(counts is not None, depth == 0, windowed)
+        trace_get = traces.get
+
+        label = exe.entry
+        mem: list = []
+        steps_budget = self.MAX_STEPS
+        cycles = 0.0
+        mem_cycles = 0.0
+        miss_cycles = 0.0
+
+        while label != _RETURN:
+            tfn = trace_get(label)
+            if tfn is not None:
+                res = tfn(
+                    env,
+                    bases,
+                    access_many,
+                    branch_state,
+                    counts,
+                    mem_factor,
+                    miss_cost,
+                    cycles,
+                    mem_cycles,
+                    miss_cycles,
+                    steps_budget,
+                    cache,
+                    cache_direct,
+                )
+                if res[4] != steps_budget:
+                    label, cycles, mem_cycles, miss_cycles, steps_budget = res
+                    continue
+                # no progress: the remaining step budget cannot cover a
+                # full trace pass — interpret block by block below so the
+                # budget exhausts at exactly Tier 0's block and error
+            blk = blocks[label]
+            if counts is not None:
+                counts[blk.label if depth == 0 else blk.qual_key] += 1
+            cycles += blk.compute_cycles + blk.spill_cycles
+
+            try:
+                fast = blk.fastrun
+                if fast is not None:
+                    label_next, taken = fast(env, mem)
+                elif blk.has_calls:
+                    for step in blk.steps:
+                        if type(step) is _CallStep:
+                            self._do_call(
+                                step, exe, env, amap, factors, counts, result, depth
+                            )
+                        else:
+                            step(env, mem)
+                    label_next, taken = blk.term(env, mem)
+                else:
+                    for step in blk.steps:
+                        step(env, mem)
+                    label_next, taken = blk.term(env, mem)
+            except (KeyError, IndexError, ZeroDivisionError, OverflowError) as e:
+                raise ExecutionError(
+                    f"{exe.name}/{label}: runtime error {type(e).__name__}: {e}"
+                ) from e
+
+            if mem:
+                mc = 0.0
+                for name, i in mem:
+                    mc += cache_access(bases[name] + i * elem)
+                mc *= mem_factor
+                mem_cycles += mc
+                cycles += mc
+                mem.clear()
+
+            if blk.is_branch:
+                key = blk.branch_key
+                predicted = branch_state.get(key)
+                if predicted is not None and predicted != taken:
+                    miss_cycles += miss_cost
+                    cycles += miss_cost
+                branch_state[key] = taken
+
+            steps_budget -= 1
+            if steps_budget <= 0:
+                raise ExecutionError(
+                    f"{exe.name}: step budget exhausted (infinite loop?)"
+                )
+            label = label_next
+
+        result.cycles += cycles
+        result.mem_cycles += mem_cycles
+        result.branch_miss_cycles += miss_cycles
+
+
+# --------------------------------------------------------------------------- #
+# tier selection
+
+
+def create_executor(
+    machine: MachineConfig,
+    tier: int = 0,
+    *,
+    jit: JitConfig | None = None,
+    code_cache: ExecutableCache | None = None,
+) -> Executor:
+    """Build the executor for one execution tier.
+
+    Tier 0 is the paper-faithful interpreter; Tier 1 adds the trace JIT
+    (bit-identical results, substantially faster hot loops).
+    """
+    if tier == 0:
+        return Executor(machine)
+    if tier == 1:
+        return TieredExecutor(machine, jit=jit, code_cache=code_cache)
+    raise ValueError(f"unknown execution tier {tier!r} (expected one of {EXEC_TIERS})")

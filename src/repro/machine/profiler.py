@@ -67,16 +67,23 @@ def profile_tuning_section(
     machine: MachineConfig,
     *,
     executor: Executor | None = None,
+    exec_tier: int = 0,
 ) -> TSProfile:
     """Run *fn* once per invocation environment, recording counts and times.
 
     The profile run executes the baseline (un-tuned) version with block
     counting enabled; inputs are consumed from the *invocations* iterable
     (each a fresh environment — the caller's workload generator owns input
-    regeneration semantics).
+    regeneration semantics).  *exec_tier* selects the execution tier when
+    no *executor* is supplied (tier 1 profiles faster, identically).
     """
     exe = compile_function(fn, machine)
-    execu = executor or Executor(machine)
+    if executor is not None:
+        execu = executor
+    else:
+        from .jit import create_executor
+
+        execu = create_executor(machine, exec_tier)
     times: list[float] = []
     counts_acc: dict[str, list[int]] = {}
     scalars: list[dict[str, object]] = []

@@ -15,7 +15,8 @@ import numpy as np
 
 from ..compiler.version import Version
 from ..machine.config import MachineConfig
-from ..machine.executor import Executor, InvocationResult
+from ..machine.executor import InvocationResult
+from ..machine.jit import create_executor
 from ..machine.perturb import NoiseModel
 from .ledger import TuningLedger
 
@@ -47,9 +48,12 @@ class TimedExecutor:
         seed: int = 0,
         noise: NoiseModel | None = None,
         ledger: TuningLedger | None = None,
+        exec_tier: int = 0,
     ) -> None:
         self.machine = machine
-        self.executor = Executor(machine)
+        # Tier 0 = closure interpreter, Tier 1 = trace JIT (bit-identical
+        # results — see repro.machine.jit — so ratings are unaffected)
+        self.executor = create_executor(machine, exec_tier)
         self.noise = noise if noise is not None else NoiseModel.for_machine(machine)
         self.rng = np.random.default_rng(seed)
         self.ledger = ledger if ledger is not None else TuningLedger()

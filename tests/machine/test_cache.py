@@ -112,3 +112,69 @@ class TestAddressMap:
         m1 = AddressMap({"x": 5, "y": 7}, line=32)
         m2 = AddressMap({"y": 7, "x": 5}, line=32)
         assert m1.bases == m2.bases
+
+
+class TestVectorizedBatch:
+    """The direct-mapped batch path must be access-for-access identical to
+    the sequential loop — the Tier-1 JIT drains blocks through it."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_vectorized_matches_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        addrs = [int(a) for a in rng.integers(0, 1 << 16, size=200)]
+        ref = CacheSim(size=4096, line=32, assoc=1, hit_cycles=1.0,
+                       miss_cycles=28.0)
+        vec = CacheSim(size=4096, line=32, assoc=1, hit_cycles=1.0,
+                       miss_cycles=28.0)
+        total_ref = sum(ref.access(a) for a in addrs)
+        total_vec = vec.access_many(addrs)  # len >= VECTOR_MIN_BATCH
+        assert total_vec == total_ref
+        assert (vec.hits, vec.misses) == (ref.hits, ref.misses)
+        assert vec._direct == ref._direct
+
+    def test_short_batches_take_scalar_loop(self):
+        from repro.machine.cache import VECTOR_MIN_BATCH
+
+        addrs = list(range(0, 32 * (VECTOR_MIN_BATCH - 1), 32))
+        ref = CacheSim(size=4096, line=32, assoc=1, hit_cycles=1.0,
+                       miss_cycles=28.0)
+        vec = CacheSim(size=4096, line=32, assoc=1, hit_cycles=1.0,
+                       miss_cycles=28.0)
+        assert vec.access_many(addrs) == sum(ref.access(a) for a in addrs)
+
+    def test_fractional_costs_stay_sequential(self):
+        """Non-integral costs must not take the count-based total."""
+        rng = np.random.default_rng(3)
+        addrs = [int(a) for a in rng.integers(0, 1 << 14, size=100)]
+        ref = CacheSim(size=4096, line=32, assoc=1, hit_cycles=1.5,
+                       miss_cycles=28.25)
+        vec = CacheSim(size=4096, line=32, assoc=1, hit_cycles=1.5,
+                       miss_cycles=28.25)
+        assert vec.access_many(addrs) == sum(ref.access(a) for a in addrs)
+
+    @pytest.mark.parametrize("assoc", [2, 4])
+    def test_assoc_access_many_matches_sequential(self, assoc, seed=11):
+        rng = np.random.default_rng(seed)
+        addrs = [int(a) for a in rng.integers(0, 1 << 14, size=300)]
+        ref = CacheSim(size=4096, line=64, assoc=assoc, hit_cycles=1.0,
+                       miss_cycles=60.0)
+        batch = CacheSim(size=4096, line=64, assoc=assoc, hit_cycles=1.0,
+                         miss_cycles=60.0)
+        assert batch.access_many(addrs) == sum(ref.access(a) for a in addrs)
+        assert [list(w) for w in batch._sets] == [list(w) for w in ref._sets]
+
+    def test_negative_addresses(self):
+        """Negative addresses (Python wraparound indexes) floor-divide to
+        negative line indices; slot compares must still be exact."""
+        c = CacheSim(size=4096, line=32, assoc=1, hit_cycles=1.0,
+                     miss_cycles=28.0)
+        assert c.access(-1) == 28.0
+        assert c.access(-1) == 1.0  # same (negative) line hits
+        assert c.access(-33) == 28.0  # previous line, different slot
+
+    def test_empty_slot_never_matches_any_line(self):
+        """Fresh slots are None, which no line index (even -1) equals."""
+        c = CacheSim(size=4096, line=32, assoc=1, hit_cycles=1.0,
+                     miss_cycles=28.0)
+        # line index of addr -32 .. -1 is -1; a fresh cache must miss
+        assert c.access(-32) == 28.0

@@ -1,0 +1,342 @@
+"""Differential fuzzing: Tier 1 (trace JIT) vs Tier 0 (interpreter).
+
+The tiered executor's contract is *bit-identical* results — cycles,
+mem/branch-miss split, block counts, return values, array state, and the
+persistent machine state (cache lines, LRU order, predictor table) — for
+any IR program, on both paper machines, with or without counting, through
+errors and step-budget exhaustion.  These tests enforce that contract on
+hand-written adversarial kernels and on random IR programs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import ArrayRef, Const, FunctionBuilder, Type, Var
+from repro.machine import (
+    ExecutableCache,
+    ExecutionError,
+    Executor,
+    JitConfig,
+    PENTIUM4,
+    SPARC2,
+    TieredExecutor,
+    compile_function,
+)
+
+from ..strategies import kernel_inputs, kernels
+
+#: aggressive JIT so tiny test kernels form traces after one invocation
+HOT_JIT = JitConfig(warmup_invocations=1, hot_block_count=2, max_trace_blocks=8)
+
+MACHINES = (SPARC2, PENTIUM4)
+
+
+def machine_state(ex: Executor):
+    return (
+        list(ex.cache._direct) if ex.cache._direct is not None else None,
+        [list(w) for w in ex.cache._sets],
+        ex.cache.hits,
+        ex.cache.misses,
+        dict(ex.branch_state),
+    )
+
+
+def run_differential(fn, env_fn, machine, *, invocations=6, jit=HOT_JIT,
+                     max_steps=None):
+    """Run the same invocation sequence through both tiers and compare.
+
+    *env_fn(i)* builds the i-th environment (called once per tier so each
+    executor mutates its own arrays).  Invocations alternate
+    ``count_blocks`` to cover both generated-code variants.  Returns the
+    Tier-1 executor (for trace-formation assertions).
+    """
+    exe0 = compile_function(fn, machine)
+    exe1 = compile_function(fn, machine)
+    ex0 = Executor(machine)
+    ex1 = TieredExecutor(machine, jit=jit, code_cache=ExecutableCache())
+    if max_steps is not None:
+        ex0.MAX_STEPS = max_steps
+        ex1.MAX_STEPS = max_steps
+    for i in range(invocations):
+        env0, env1 = env_fn(i), env_fn(i)
+        count = i % 2 == 1
+        err0 = err1 = None
+        r0 = r1 = None
+        try:
+            r0 = ex0.run(exe0, env0, count_blocks=count)
+        except ExecutionError as e:
+            err0 = str(e)
+        try:
+            r1 = ex1.run(exe1, env1, count_blocks=count)
+        except ExecutionError as e:
+            err1 = str(e)
+        assert err0 == err1
+        if r0 is not None:
+            assert r0.cycles == r1.cycles
+            assert r0.mem_cycles == r1.mem_cycles
+            assert r0.branch_miss_cycles == r1.branch_miss_cycles
+            assert r0.block_counts == r1.block_counts
+            assert repr(r0.return_value) == repr(r1.return_value)
+        for key in env0:
+            v0, v1 = env0[key], env1[key]
+            if hasattr(v0, "__len__"):
+                assert np.array_equal(np.asarray(v0), np.asarray(v1)), key
+            else:
+                assert repr(v0) == repr(v1), key
+        assert machine_state(ex0) == machine_state(ex1)
+    return ex1
+
+
+def traces_formed(ex1: TieredExecutor) -> int:
+    total = 0
+    for ts in ex1.code_cache._entries.values():
+        total += len(ts)
+    return total
+
+
+# --------------------------------------------------------------------------- #
+# hand-written adversarial kernels
+
+
+def hot_loop_fn(name="hot"):
+    """The canonical JIT target: a tight counted loop over two arrays."""
+    b = FunctionBuilder(
+        name,
+        [("n", Type.INT), ("x", Type.FLOAT_ARRAY), ("y", Type.FLOAT_ARRAY)],
+        return_type=Type.FLOAT,
+    )
+    b.local("acc", Type.FLOAT)
+    with b.for_("i", 0, b.var("n")) as i:
+        b.store("y", i, ArrayRef("x", i) * 2.0 + ArrayRef("y", i))
+        b.assign("acc", b.var("acc") + ArrayRef("y", i))
+    b.ret(b.var("acc"))
+    return b.build()
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+def test_hot_loop_windowed(machine):
+    """Small arrays: the window precondition holds, memo codegen runs."""
+    fn = hot_loop_fn()
+
+    def env_fn(i):
+        rng = np.random.default_rng(i)
+        return {"n": 48, "x": rng.normal(size=48), "y": rng.normal(size=48)}
+
+    ex1 = run_differential(fn, env_fn, machine)
+    assert traces_formed(ex1) >= 1
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+def test_hot_loop_large_arrays_not_windowed(machine):
+    """Arrays larger than the cache: windowed codegen must stand down."""
+    fn = hot_loop_fn()
+    n = 4096  # 32 KB per array > both machines' caches
+
+    def env_fn(i):
+        rng = np.random.default_rng(i)
+        return {"n": n, "x": rng.normal(size=n), "y": rng.normal(size=n)}
+
+    ex1 = run_differential(fn, env_fn, machine, invocations=4)
+    assert traces_formed(ex1) >= 1
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+def test_conflicting_lines_stress_cache_state(machine):
+    """Strided accesses that collide in cache sets: evictions (and LRU
+    reordering on the Pentium 4) must match exactly."""
+    b = FunctionBuilder(
+        "conflict",
+        [("n", Type.INT), ("s", Type.INT), ("a", Type.FLOAT_ARRAY)],
+        return_type=Type.FLOAT,
+    )
+    b.local("acc", Type.FLOAT)
+    with b.for_("i", 0, b.var("n")) as i:
+        b.assign("acc", b.var("acc") + ArrayRef("a", (i * Var("s")) % 4096))
+    b.ret(b.var("acc"))
+    fn = b.build()
+
+    def env_fn(i):
+        rng = np.random.default_rng(100 + i)
+        # stride of one cache-set span: maximal conflict pressure
+        return {"n": 64, "s": 512 + i, "a": rng.normal(size=4096)}
+
+    run_differential(fn, env_fn, machine)
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+def test_error_mid_trace_preserves_state(machine):
+    """An out-of-bounds store on a data-dependent iteration must raise the
+    same error and leave cache/predictor state exactly as Tier 0 does
+    (the failing block's accesses never happened)."""
+    b = FunctionBuilder(
+        "oob",
+        [("n", Type.INT), ("m", Type.INT), ("a", Type.FLOAT_ARRAY)],
+    )
+    with b.for_("i", 0, b.var("n")) as i:
+        b.store("a", i % Var("m"), ArrayRef("a", i % Var("m")) + 1.0)
+    b.ret()
+    fn = b.build()
+
+    def env_fn(i):
+        # m=0 on later invocations: ZeroDivisionError inside a hot trace
+        return {"n": 40, "m": 8 if i < 3 else 0, "a": np.zeros(8)}
+
+    run_differential(fn, env_fn, machine)
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+def test_index_error_mid_trace(machine):
+    fn = hot_loop_fn()
+
+    def env_fn(i):
+        size = 48 if i < 3 else 16  # n stays 48: IndexError mid-loop
+        rng = np.random.default_rng(i)
+        return {"n": 48, "x": rng.normal(size=48), "y": np.zeros(size)}
+
+    run_differential(fn, env_fn, machine)
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+def test_step_budget_exhaustion(machine):
+    """With a tiny step budget the JIT must exhaust at Tier 0's exact
+    block (the hoisted budget guard falls back to interpretation)."""
+    fn = hot_loop_fn()
+
+    def env_fn(i):
+        rng = np.random.default_rng(i)
+        return {"n": 200, "x": rng.normal(size=200), "y": rng.normal(size=200)}
+
+    run_differential(fn, env_fn, machine, max_steps=150)
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+def test_calls_and_callee_counts(machine):
+    """Calls stay interpreted; callee block counts must still match the
+    pre-seeded ``fn::label`` key set of Tier 0."""
+    cal = FunctionBuilder(
+        "callee", [("v", Type.FLOAT)], return_type=Type.FLOAT
+    )
+    cal.ret(cal.var("v") * cal.var("v"))
+    callee_fn = cal.build()
+
+    b = FunctionBuilder(
+        "caller",
+        [("n", Type.INT), ("x", Type.FLOAT_ARRAY)],
+        return_type=Type.FLOAT,
+    )
+    b.local("acc", Type.FLOAT)
+    b.local("t", Type.FLOAT)
+    with b.for_("i", 0, b.var("n")) as i:
+        b.call("callee", [ArrayRef("x", i)], target="t")
+        b.assign("acc", b.var("acc") + b.var("t"))
+    b.ret(b.var("acc"))
+    fn = b.build()
+
+    def env_fn(i):
+        rng = np.random.default_rng(i)
+        return {"n": 24, "x": rng.normal(size=24)}
+
+    callees = {"callee": compile_function(callee_fn, machine)}
+    exe0 = compile_function(fn, machine, callees=callees)
+    exe1 = compile_function(fn, machine, callees=callees)
+    ex0 = Executor(machine)
+    ex1 = TieredExecutor(machine, jit=HOT_JIT, code_cache=ExecutableCache())
+    for i in range(6):
+        env0, env1 = env_fn(i), env_fn(i)
+        count = i % 2 == 1
+        r0 = ex0.run(exe0, env0, count_blocks=count)
+        r1 = ex1.run(exe1, env1, count_blocks=count)
+        assert r0.cycles == r1.cycles
+        assert r0.block_counts == r1.block_counts
+        assert machine_state(ex0) == machine_state(ex1)
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+def test_negative_and_aliased_indexes(machine):
+    """Negative indexes (Python wraparound) and scalar-dependent reuse."""
+    b = FunctionBuilder(
+        "neg",
+        [("n", Type.INT), ("a", Type.FLOAT_ARRAY)],
+        return_type=Type.FLOAT,
+    )
+    b.local("acc", Type.FLOAT)
+    with b.for_("i", 0, b.var("n")) as i:
+        b.assign("acc", b.var("acc") + ArrayRef("a", Const(0) - i))
+        b.store("a", Const(0) - i, b.var("acc"))
+    b.ret(b.var("acc"))
+    fn = b.build()
+
+    def env_fn(i):
+        rng = np.random.default_rng(i)
+        return {"n": 30, "a": rng.normal(size=32)}
+
+    run_differential(fn, env_fn, machine)
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+def test_branchy_trace_side_exits(machine):
+    """A data-dependent branch inside the loop: the trace picks one arm
+    and side-exits on the other, predictor accounting must align."""
+    b = FunctionBuilder(
+        "branchy",
+        [("n", Type.INT), ("a", Type.FLOAT_ARRAY)],
+        return_type=Type.FLOAT,
+    )
+    b.local("acc", Type.FLOAT)
+    with b.for_("i", 0, b.var("n")) as i:
+        with b.if_(ArrayRef("a", i) > 0.0):
+            b.assign("acc", b.var("acc") + ArrayRef("a", i))
+        with b.orelse():
+            b.assign("acc", b.var("acc") - ArrayRef("a", i))
+    b.ret(b.var("acc"))
+    fn = b.build()
+
+    def env_fn(i):
+        rng = np.random.default_rng(i)
+        return {"n": 64, "a": rng.normal(size=64)}
+
+    run_differential(fn, env_fn, machine)
+
+
+def test_interleaved_functions_share_machine_state():
+    """Two functions alternating on one executor: traces from one must
+    see cache/predictor effects of the other exactly as Tier 0 does."""
+    fn_a = hot_loop_fn("fa")
+    fn_b = hot_loop_fn("fb")
+    machine = SPARC2
+    exe0a, exe0b = compile_function(fn_a, machine), compile_function(fn_b, machine)
+    exe1a, exe1b = compile_function(fn_a, machine), compile_function(fn_b, machine)
+    ex0 = Executor(machine)
+    ex1 = TieredExecutor(machine, jit=HOT_JIT, code_cache=ExecutableCache())
+    for i in range(8):
+        rng0, rng1 = np.random.default_rng(i), np.random.default_rng(i)
+        e0 = {"n": 32, "x": rng0.normal(size=32), "y": rng0.normal(size=32)}
+        e1 = {"n": 32, "x": rng1.normal(size=32), "y": rng1.normal(size=32)}
+        pick0 = (exe0a, exe0b)[i % 2]
+        pick1 = (exe1a, exe1b)[i % 2]
+        r0 = ex0.run(pick0, e0)
+        r1 = ex1.run(pick1, e1)
+        assert r0.cycles == r1.cycles
+        assert machine_state(ex0) == machine_state(ex1)
+
+
+# --------------------------------------------------------------------------- #
+# property-based: random IR programs
+
+
+@settings(max_examples=40, deadline=None)
+@given(fn=kernels(), env=kernel_inputs(), machine=st.sampled_from(MACHINES))
+def test_random_kernels_differential(fn, env, machine):
+    """Random structured kernels: both tiers agree invocation by
+    invocation, including every piece of persistent machine state."""
+
+    def env_fn(i):
+        e = dict(env)
+        e["a"] = np.array(env["a"])
+        e["b"] = np.array(env["b"])
+        e["k"] = env["k"] + i  # vary inputs so branches flip across calls
+        return e
+
+    run_differential(fn, env_fn, machine, invocations=5)

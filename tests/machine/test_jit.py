@@ -1,0 +1,208 @@
+"""Unit tests for the Tier-1 trace JIT machinery itself.
+
+The differential suite (test_executor_differential.py) proves results are
+bit-identical; these tests pin down the mechanics — warmup, trace
+formation, code caching, digests, the window predicate, tier selection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir import ArrayRef, FunctionBuilder, Type
+from repro.machine import (
+    EXEC_TIERS,
+    ExecutableCache,
+    Executor,
+    JitConfig,
+    PENTIUM4,
+    SPARC2,
+    TieredExecutor,
+    compile_function,
+    create_executor,
+    executable_digest,
+    global_executable_cache,
+)
+from repro.machine.jit import _window_fits, build_traces
+
+
+def loop_fn(name="loop"):
+    b = FunctionBuilder(
+        name,
+        [("n", Type.INT), ("x", Type.FLOAT_ARRAY), ("y", Type.FLOAT_ARRAY)],
+        return_type=Type.FLOAT,
+    )
+    b.local("acc", Type.FLOAT)
+    with b.for_("i", 0, b.var("n")) as i:
+        b.store("y", i, ArrayRef("x", i) * 2.0 + ArrayRef("y", i))
+        b.assign("acc", b.var("acc") + ArrayRef("y", i))
+    b.ret(b.var("acc"))
+    return b.build()
+
+
+def envs(n=48, count=8):
+    out = []
+    for i in range(count):
+        rng = np.random.default_rng(i)
+        out.append({"n": n, "x": rng.normal(size=n), "y": rng.normal(size=n)})
+    return out
+
+
+class TestTierSelection:
+    def test_create_executor_tiers(self):
+        assert type(create_executor(SPARC2, 0)) is Executor
+        assert isinstance(create_executor(SPARC2, 1), TieredExecutor)
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution tier"):
+            create_executor(SPARC2, 7)
+
+    def test_exec_tiers_constant(self):
+        assert EXEC_TIERS == (0, 1)
+
+    def test_default_code_cache_is_global(self):
+        ex = TieredExecutor(SPARC2)
+        assert ex.code_cache is global_executable_cache()
+
+
+class TestWarmupAndTraceFormation:
+    def test_traces_form_after_warmup(self):
+        cache = ExecutableCache()
+        ex = TieredExecutor(
+            SPARC2,
+            jit=JitConfig(warmup_invocations=3, hot_block_count=4),
+            code_cache=cache,
+        )
+        exe = compile_function(loop_fn(), SPARC2)
+        for i, env in enumerate(envs()):
+            ex.run(exe, env)
+            state = exe._jit_state
+            if i < 2:
+                assert state.traceset is None  # still warming up
+            else:
+                assert state.traceset is not None
+        assert len(state.traceset) >= 1
+        # the loop head closed the trace into a loop
+        assert any(t.loop for t in state.traceset.traces.values())
+
+    def test_cold_function_forms_no_traces(self):
+        """A function whose blocks never get hot compiles to an empty
+        trace set and keeps interpreting."""
+        b = FunctionBuilder("once", [("x", Type.FLOAT)], return_type=Type.FLOAT)
+        b.ret(b.var("x") * 2.0)
+        exe = compile_function(b.build(), SPARC2)
+        ex = TieredExecutor(SPARC2, jit=JitConfig(warmup_invocations=1),
+                            code_cache=ExecutableCache())
+        for _ in range(4):
+            res = ex.run(exe, {"x": 1.5})
+        assert res.return_value == 3.0
+        assert len(exe._jit_state.traceset) == 0
+
+    def test_build_traces_skips_call_blocks(self):
+        cal = FunctionBuilder("g", [("v", Type.FLOAT)], return_type=Type.FLOAT)
+        cal.ret(cal.var("v") + 1.0)
+        b = FunctionBuilder("f", [("n", Type.INT)], return_type=Type.FLOAT)
+        b.local("acc", Type.FLOAT)
+        with b.for_("i", 0, b.var("n")):
+            b.call("g", [b.var("acc")], target="acc")
+        b.ret(b.var("acc"))
+        callees = {"g": compile_function(cal.build(), SPARC2)}
+        exe = compile_function(b.build(), SPARC2, callees=callees)
+        counts = dict.fromkeys(exe.blocks, 1000)
+        ts = build_traces(exe, counts, JitConfig(), SPARC2)
+        for trace in ts.traces.values():
+            for label in trace.labels:
+                assert not exe.blocks[label].has_calls
+
+
+class TestExecutableCache:
+    def test_cache_hit_on_same_ir_and_costs(self):
+        cache = ExecutableCache()
+        fn = loop_fn()
+        jit = JitConfig(warmup_invocations=1, hot_block_count=4)
+        for _ in range(2):
+            exe = compile_function(fn, SPARC2)
+            ex = TieredExecutor(SPARC2, jit=jit, code_cache=cache)
+            for env in envs(count=4):
+                ex.run(exe, env)
+        assert len(cache) == 1
+        assert cache.hits >= 1
+        assert cache.misses == 1
+
+    def test_digest_differs_across_machines(self):
+        fn = loop_fn()
+        d_sparc = executable_digest(compile_function(fn, SPARC2), SPARC2)
+        d_p4 = executable_digest(compile_function(fn, PENTIUM4), PENTIUM4)
+        assert d_sparc != d_p4
+
+    def test_digest_differs_across_functions(self):
+        d1 = executable_digest(compile_function(loop_fn("f1"), SPARC2), SPARC2)
+        d2 = executable_digest(compile_function(loop_fn("f2"), SPARC2), SPARC2)
+        assert d1 != d2
+
+    def test_digest_stable(self):
+        exe = compile_function(loop_fn(), SPARC2)
+        assert executable_digest(exe, SPARC2) == executable_digest(exe, SPARC2)
+
+    def test_max_entries_evicts(self):
+        cache = ExecutableCache(max_entries=1)
+        from repro.machine.jit import TraceSet
+
+        cache.put("k1", TraceSet("f1", []))
+        cache.put("k2", TraceSet("f2", []))
+        assert len(cache) == 1
+        assert cache.get("k1") is None
+        assert cache.get("k2") is not None
+
+
+class TestWindowPredicate:
+    def test_small_arrays_fit(self):
+        env = {"a": np.zeros(16), "n": 5}
+        bases = {"a": 0x10000}
+        assert _window_fits(bases, env, n_sets=512, line=32)
+
+    def test_large_span_does_not_fit(self):
+        env = {"a": np.zeros(16), "b": np.zeros(16)}
+        bases = {"a": 0x10000, "b": 0x10000 + 512 * 32}
+        assert not _window_fits(bases, env, n_sets=512, line=32)
+
+    def test_no_arrays_fits_trivially(self):
+        assert _window_fits({}, {"n": 3}, n_sets=32, line=64)
+
+    def test_negative_wrap_margin_counts(self):
+        # array alone spans < the cache (8.6 KB < 16 KB), but the
+        # negative-index wrap range doubles it past the window
+        env = {"a": np.zeros(1100)}
+        bases = {"a": 0x10000}
+        assert not _window_fits(bases, env, n_sets=512, line=32)
+
+
+class TestGeneratedCode:
+    def test_trace_source_is_attached(self):
+        cache = ExecutableCache()
+        ex = TieredExecutor(
+            SPARC2,
+            jit=JitConfig(warmup_invocations=1, hot_block_count=4),
+            code_cache=cache,
+        )
+        exe = compile_function(loop_fn(), SPARC2)
+        for env in envs(count=4):
+            ex.run(exe, env)
+        ts = exe._jit_state.traceset
+        fns = ts.fns_for(False, True, False)
+        src = next(iter(fns.values())).__source__
+        assert "def _trace(" in src
+        assert "while True:" in src  # the loop closed
+
+    def test_variants_are_cached_per_key(self):
+        cache = ExecutableCache()
+        ex = TieredExecutor(
+            SPARC2,
+            jit=JitConfig(warmup_invocations=1, hot_block_count=4),
+            code_cache=cache,
+        )
+        exe = compile_function(loop_fn(), SPARC2)
+        for env in envs(count=4):
+            ex.run(exe, env)
+        ts = exe._jit_state.traceset
+        assert ts.fns_for(False, True, True) is ts.fns_for(False, True, True)
+        assert ts.fns_for(False, True, True) is not ts.fns_for(False, True, False)
