@@ -15,6 +15,7 @@ These implement the program analysis the paper's Sections 2 and 3 rely on:
 
 from .components import Component, ComponentModel, build_components
 from .context import ContextAnalysis, ContextVarSpec, analyze_context, context_key
+from .manager import ANALYSES, AnalysisManager, AnalysisSpec
 from .defs import classify_stores, def_set, has_irregular_stores, StoreInfo
 from .dominators import dominates, dominators, immediate_dominators
 from .liveness import input_set, live_in, live_out, modified_input_set
@@ -25,6 +26,9 @@ from .trip_count import TripCount, analyze_trip_counts
 from .usedef import DefSite, ReachingDefs
 
 __all__ = [
+    "ANALYSES",
+    "AnalysisManager",
+    "AnalysisSpec",
     "Component",
     "ComponentModel",
     "ContextAnalysis",

@@ -1,0 +1,186 @@
+"""The shared AnalysisManager: version-stamped caching of IR analyses.
+
+Optimization passes and the effect model repeatedly query the same
+analyses — dominators, the loop forest, liveness, trip counts — and before
+this module each query recomputed from scratch.  The manager caches one
+result per registered analysis, stamped with the owning function's
+``(cfg_version, stmt_version)`` mutation counters (see
+:class:`repro.ir.function.Function`):
+
+* **CFG-level** analyses (dominators, loops, nesting depths) depend only on
+  the graph shape; their stamp is ``cfg_version``.  A pass that rewrites
+  statements without touching blocks/edges leaves them valid.
+* **Statement-level** analyses (liveness, trip counts, reaching defs, the
+  Fig. 1 context analysis) depend on statement content too; their stamp is
+  the full ``(cfg_version, stmt_version)`` pair.
+
+Invalidation is implicit: a pass that mutates the function bumps the
+counters (directly, or via the pipeline's per-pass traits), and stale
+entries simply stop matching.  A pass may additionally *preserve* named
+analyses it provably does not perturb (e.g. strength reduction rewrites
+``x*2`` to ``x+x`` — identical variable reads, so liveness is bit-equal);
+:meth:`AnalysisManager.commit` re-stamps those entries to the new version.
+
+The correctness bar is exact: a preserved entry must equal what a fresh
+computation would return, because analysis results feed transformation
+decisions and the pass-prefix cache requires bit-identical output IR.
+``tests/compiler/test_incremental_differential.py`` enforces this
+differentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..ir.function import Function
+from .context import analyze_context
+from .dominators import dominators, immediate_dominators
+from .liveness import live_in, live_out
+from .loops import loop_nest_depths, natural_loops
+from .trip_count import analyze_trip_counts
+
+__all__ = ["ANALYSES", "AnalysisManager", "AnalysisSpec"]
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """One registered analysis: how to compute it and what it depends on."""
+
+    name: str
+    compute: Callable[[Function], Any]
+    #: "cfg" — valid as long as the graph shape is unchanged;
+    #: "stmt" — additionally invalidated by any statement mutation.
+    level: str = "stmt"
+
+
+#: every analysis the manager knows how to cache, by name
+ANALYSES: dict[str, AnalysisSpec] = {
+    spec.name: spec
+    for spec in (
+        AnalysisSpec("idoms", lambda fn: immediate_dominators(fn.cfg), "cfg"),
+        AnalysisSpec("dominators", lambda fn: dominators(fn.cfg), "cfg"),
+        AnalysisSpec("loops", lambda fn: natural_loops(fn.cfg), "cfg"),
+        AnalysisSpec("loop-depths", lambda fn: loop_nest_depths(fn.cfg), "cfg"),
+        AnalysisSpec("rpo", lambda fn: fn.cfg.rpo(), "cfg"),
+        AnalysisSpec("preds", lambda fn: fn.cfg.predecessors_map(), "cfg"),
+        AnalysisSpec("live-in", live_in, "stmt"),
+        AnalysisSpec("live-out", live_out, "stmt"),
+        AnalysisSpec("trip-counts", analyze_trip_counts, "stmt"),
+        AnalysisSpec("context", analyze_context, "stmt"),
+    )
+}
+
+
+@dataclass
+class _Entry:
+    stamp: tuple[int, int]
+    result: Any
+
+
+class AnalysisManager:
+    """Caches analysis results for one :class:`Function`, keyed by its
+    mutation stamp.  Results are treated as immutable and may be shared
+    across :meth:`Function.copy` snapshots (they reference block labels and
+    variable names, never live IR objects), which is what lets the
+    pass-prefix cache resume a compile with warm analyses.
+    """
+
+    def __init__(
+        self,
+        fn: Function,
+        *,
+        seed: dict[str, "_Entry"] | None = None,
+    ) -> None:
+        self.fn = fn
+        self.hits = 0
+        self.misses = 0
+        self._cache: dict[str, _Entry] = dict(seed) if seed else {}
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def _stamp_for(self, spec: AnalysisSpec) -> tuple[int, int]:
+        if spec.level == "cfg":
+            return (self.fn.cfg_version, -1)
+        return self.fn.ir_stamp
+
+    def get(self, name: str) -> Any:
+        """Return the (possibly cached) result of analysis *name*."""
+        spec = ANALYSES[name]
+        want = self._stamp_for(spec)
+        entry = self._cache.get(name)
+        if entry is not None and entry.stamp == want:
+            self.hits += 1
+            return entry.result
+        result = spec.compute(self.fn)
+        self._cache[name] = _Entry(want, result)
+        self.misses += 1
+        return result
+
+    def is_cached(self, name: str) -> bool:
+        entry = self._cache.get(name)
+        return entry is not None and entry.stamp == self._stamp_for(ANALYSES[name])
+
+    def cached_names(self) -> list[str]:
+        """Names of analyses whose cached result is currently valid."""
+        return [name for name in self._cache if self.is_cached(name)]
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+
+    def commit(self, mutates: str, preserves: frozenset[str] = frozenset()) -> None:
+        """Record that a transformation just mutated the function.
+
+        *mutates* is ``"cfg"`` or ``"stmts"``.  Entries named in *preserves*
+        that were valid **before** the mutation are re-stamped to the new
+        version: the caller asserts the transformation left those results
+        bit-identical.  Everything else goes stale implicitly.
+        """
+        valid_before = {
+            name
+            for name in preserves
+            if name in self._cache and self.is_cached(name)
+        }
+        if mutates == "cfg":
+            self.fn.bump_cfg()
+        else:
+            self.fn.bump_stmts()
+        for name in valid_before:
+            self._cache[name].stamp = self._stamp_for(ANALYSES[name])
+
+    def invalidate(self, *names: str) -> None:
+        for name in names:
+            self._cache.pop(name, None)
+
+    def invalidate_all(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # snapshot plumbing (pass-prefix cache)
+
+    def export(self) -> dict[str, _Entry]:
+        """A shallow snapshot of the cache for storing beside an IR snapshot.
+
+        Entries are copied (stamps are mutable via :meth:`commit`) but
+        results are shared — they are immutable by contract.
+        """
+        return {
+            name: _Entry(entry.stamp, entry.result)
+            for name, entry in self._cache.items()
+            if self.is_cached(name)
+        }
+
+    @classmethod
+    def resume(
+        cls, fn: Function, seed: dict[str, "_Entry"] | None
+    ) -> "AnalysisManager":
+        """Build a manager for a restored snapshot copy, re-using *seed*
+        entries (valid because ``Function.copy`` preserves the stamp)."""
+        am = cls(fn)
+        if seed:
+            am._cache = {
+                name: _Entry(entry.stamp, entry.result)
+                for name, entry in seed.items()
+            }
+        return am

@@ -95,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker pool backend for --jobs (default: auto)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the compiled-version cache (--jobs only)")
+    p.add_argument("--no-prefix-cache", action="store_true",
+                   help="disable incremental compilation (pass-prefix IR "
+                        "snapshot reuse across configurations; --jobs only)")
     p.add_argument("--exec-tier", type=int, choices=EXEC_TIERS, default=0,
                    help="simulated-execution tier: 0 = paper-faithful "
                         "interpreter, 1 = trace JIT (bit-identical results, "
@@ -176,6 +179,7 @@ def _cmd_tune(args, out) -> int:
         jobs=args.jobs,
         parallel_backend=args.backend,
         use_version_cache=not args.no_cache,
+        use_prefix_cache=not args.no_prefix_cache,
         exec_tier=args.exec_tier,
     )
     method = None if args.method == "auto" else args.method
@@ -208,6 +212,14 @@ def _cmd_tune(args, out) -> int:
             f"{len(ledger.wall_by_worker)} worker(s)",
             file=out,
         )
+        if ledger.prefix_compiles:
+            print(
+                f"prefix   : {ledger.prefix_full_hits}/{ledger.prefix_compiles} "
+                f"compiles fully memoized, "
+                f"{ledger.prefix_steps_saved} pipeline step(s) saved "
+                f"({ledger.prefix_save_rate:.0%})",
+                file=out,
+            )
     print(f"result   : {improvement:+.2f}% vs -O3 on ref", file=out)
     return 0
 

@@ -9,7 +9,15 @@
 from .effects import EFFECTS, FlagEffect, VersionCosting, compute_costing
 from .flags import ALL_FLAGS, FLAGS_BY_NAME, Flag, N_FLAGS
 from .options import OptConfig
-from .pipeline import PASS_ORDER, VersionCache, compile_version, run_passes, version_key
+from .pipeline import (
+    PASS_ORDER,
+    VersionCache,
+    compile_version,
+    effective_steps,
+    run_passes,
+    version_key,
+)
+from .prefix import PassPrefixCache, PrefixStats, ir_digest
 from .version import Version
 
 __all__ = [
@@ -21,11 +29,15 @@ __all__ = [
     "N_FLAGS",
     "OptConfig",
     "PASS_ORDER",
+    "PassPrefixCache",
+    "PrefixStats",
     "Version",
     "VersionCache",
     "VersionCosting",
     "compile_version",
     "compute_costing",
+    "effective_steps",
+    "ir_digest",
     "run_passes",
     "version_key",
 ]

@@ -29,6 +29,7 @@ headline anecdotes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..analysis.liveness import live_in, live_out
 from ..analysis.loops import loop_nest_depths
@@ -39,6 +40,9 @@ from ..machine.config import MachineConfig
 from ..machine.cost import block_static_costs
 from ..machine.executor import CostFactors
 from .options import OptConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.manager import AnalysisManager
 
 __all__ = ["FlagEffect", "VersionCosting", "compute_costing", "EFFECTS"]
 
@@ -144,14 +148,17 @@ class VersionCosting:
         return sum(1 for v in self.block_spill.values() if v > 0)
 
 
-def _loop_branchiness(fn: Function) -> dict[str, int]:
+def _loop_branchiness(
+    fn: Function, am: "AnalysisManager | None" = None
+) -> dict[str, int]:
     """For each block inside a loop: conditional branches in the smallest
     enclosing loop (0 outside loops).  This measures how far live ranges
     stretch across control flow when aliasing rules keep values live."""
     from ..analysis.loops import natural_loops
     from ..ir.stmt import CondBranch
 
-    loops = sorted(natural_loops(fn.cfg), key=lambda l: len(l.body))
+    found = am.get("loops") if am is not None else natural_loops(fn.cfg)
+    loops = sorted(found, key=lambda l: len(l.body))
     out: dict[str, int] = {label: 0 for label in fn.cfg.blocks}
     seen: set[str] = set()
     for loop in loops:  # innermost first
@@ -188,15 +195,17 @@ def _block_arrays(fn: Function) -> dict[str, int]:
     return out
 
 
-def _base_pressure(fn: Function) -> dict[str, tuple[float, float]]:
+def _base_pressure(
+    fn: Function, am: "AnalysisManager | None" = None
+) -> dict[str, tuple[float, float]]:
     """Baseline (int, fp) register pressure per block.
 
     Pressure = live scalars at block boundaries (by type) plus a small
     allowance for expression-evaluation temporaries.
     """
     types = fn.all_vars()
-    lin = live_in(fn)
-    lout = live_out(fn)
+    lin = am.get("live-in") if am is not None else live_in(fn)
+    lout = am.get("live-out") if am is not None else live_out(fn)
     out: dict[str, tuple[float, float]] = {}
     for label, blk in fn.cfg.blocks.items():
         live = set(lin.get(label, ())) | set(lout.get(label, ()))
@@ -224,14 +233,23 @@ def _base_pressure(fn: Function) -> dict[str, tuple[float, float]]:
 
 
 def compute_costing(
-    fn: Function, config: OptConfig, machine: MachineConfig
+    fn: Function,
+    config: OptConfig,
+    machine: MachineConfig,
+    *,
+    am: "AnalysisManager | None" = None,
 ) -> VersionCosting:
-    """Price the (already IR-transformed) function under *config*."""
+    """Price the (already IR-transformed) function under *config*.
+
+    With *am* (the analysis manager that accompanied the pass pipeline),
+    loop, liveness, and context analyses are served from its cache when
+    still valid — on a prefix-cache resume they usually are.
+    """
     static = block_static_costs(fn, machine.cost)
-    depths = loop_nest_depths(fn.cfg)
+    depths = am.get("loop-depths") if am is not None else loop_nest_depths(fn.cfg)
     arrays = _block_arrays(fn)
-    branchiness = _loop_branchiness(fn)
-    pressure0 = _base_pressure(fn)
+    branchiness = _loop_branchiness(fn, am)
+    pressure0 = _base_pressure(fn, am)
 
     # accumulate flag effects
     compute_f = 1.0
@@ -251,7 +269,8 @@ def compute_costing(
     # reuse it here (the compiler knows at compile time which case it is).
     from ..analysis.context import analyze_context
 
-    irregular = not analyze_context(fn).applicable
+    ctx = am.get("context") if am is not None else analyze_context(fn)
+    irregular = not ctx.applicable
 
     for name in config:
         eff = MACHINE_OVERRIDES.get((machine.name, name), EFFECTS.get(name))

@@ -7,6 +7,7 @@ rebuild statements; the helpers here do expression substitution/rewriting.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from ...ir.expr import ArrayRef, BinOp, Call, Const, Expr, UnOp, Var
@@ -15,6 +16,8 @@ from ...ir.stmt import Assign, CallStmt, CondBranch, Return, Stmt, Terminator
 from ...ir.types import Type
 
 __all__ = [
+    "PassTraits",
+    "declare_pass",
     "subst_expr",
     "subst_stmt",
     "subst_terminator",
@@ -23,6 +26,36 @@ __all__ = [
     "is_pure_scalar_expr",
     "expr_size",
 ]
+
+
+@dataclass(frozen=True)
+class PassTraits:
+    """What a pass does to the IR, for analysis-cache invalidation.
+
+    ``mutates`` is the invalidation level when the pass reports a change:
+    ``"stmts"`` (statements rewritten, graph shape untouched) or ``"cfg"``
+    (blocks/edges/terminator targets may have changed).  ``preserves`` names
+    analyses (keys of :data:`repro.analysis.manager.ANALYSES`) whose cached
+    results the pass leaves **bit-identical** even when it changes the IR —
+    an exact-equality contract, enforced differentially by
+    ``tests/compiler/test_incremental_differential.py``.
+    """
+
+    mutates: str = "cfg"
+    preserves: frozenset[str] = frozenset()
+
+
+def declare_pass(mutates: str, *preserves: str):
+    """Decorator attaching :class:`PassTraits` to a pass function."""
+    if mutates not in ("cfg", "stmts"):  # pragma: no cover - author error
+        raise ValueError(f"unknown mutation level {mutates!r}")
+    traits = PassTraits(mutates, frozenset(preserves))
+
+    def deco(fn):
+        fn.traits = traits
+        return fn
+
+    return deco
 
 
 def subst_expr(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:

@@ -13,7 +13,7 @@ import numpy as np
 from ...ir.expr import ArrayRef, BinOp, Call, Const, Expr, UnOp, Var
 from ...ir.function import Function
 from ...ir.stmt import Assign, CallStmt, CondBranch, Jump, Return
-from .base import rewrite_expr
+from .base import declare_pass, rewrite_expr
 
 __all__ = ["constant_propagation", "fold_expr"]
 
@@ -122,6 +122,7 @@ def _meet(a, b):
     return _TOP
 
 
+@declare_pass("cfg")  # folds constant branches and drops unreachable blocks
 def constant_propagation(fn: Function) -> bool:
     """Run constant propagation + folding to a fixed point.  Returns whether
     the function changed."""
@@ -227,7 +228,10 @@ def constant_propagation(fn: Function) -> bool:
                     blk.terminator = Return(v)
                     changed = True
 
-        cfg.remove_unreachable()
+        # count removals as changes: the input may already hold unreachable
+        # blocks, and a mutating round must never report "unchanged"
+        if cfg.remove_unreachable():
+            changed_any = True
         changed_any |= changed
         if not changed:
             break

@@ -17,7 +17,7 @@ from ...ir.expr import BinOp, Call, Expr, UnOp, Var
 from ...ir.function import Function
 from ...ir.stmt import Assign, CallStmt
 from ...ir.expr import COMMUTATIVE_OPS
-from .base import is_pure_scalar_expr
+from .base import declare_pass, is_pure_scalar_expr
 
 __all__ = ["common_subexpression_elimination"]
 
@@ -81,6 +81,7 @@ def _transfer(blk, avail: dict, rewrite: bool) -> tuple[dict, bool]:
     return avail, changed
 
 
+@declare_pass("stmts")  # rewrites RHSs to register moves; graph untouched
 def common_subexpression_elimination(
     fn: Function, *, global_scope: bool = True
 ) -> bool:

@@ -24,7 +24,7 @@ from ...ir.function import Function
 from ...ir.stmt import Assign, CondBranch, Jump
 from ...ir.types import Type
 from ...machine.cost import infer_type
-from .base import fresh_name, is_pure_scalar_expr, subst_expr
+from .base import declare_pass, fresh_name, is_pure_scalar_expr, subst_expr
 
 __all__ = ["if_conversion", "MAX_ARM_STATEMENTS"]
 
@@ -44,6 +44,7 @@ def _arm_convertible(blk) -> bool:
     return True
 
 
+@declare_pass("cfg")
 def if_conversion(fn: Function) -> bool:
     cfg = fn.cfg
     preds = cfg.predecessors_map()

@@ -15,7 +15,7 @@ from ...ir.expr import Expr, Var
 from ...ir.function import Function, Program
 from ...ir.stmt import Assign, CallStmt, CondBranch, Jump, Return
 from ...ir.types import is_array
-from .base import subst_stmt, subst_terminator
+from .base import declare_pass, subst_stmt, subst_terminator
 
 __all__ = ["inline_calls", "MAX_INLINE_STATEMENTS"]
 
@@ -40,6 +40,7 @@ def _inlinable(callee: Function, stmt: CallStmt) -> bool:
     return len(stmt.args) == len(callee.params)
 
 
+@declare_pass("cfg")
 def inline_calls(fn: Function, program: Program) -> bool:
     """Inline eligible call sites of *fn* against *program*'s functions."""
     changed = False

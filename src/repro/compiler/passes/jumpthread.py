@@ -11,10 +11,12 @@ from __future__ import annotations
 
 from ...ir.function import Function
 from ...ir.stmt import CondBranch, Jump
+from .base import declare_pass
 
 __all__ = ["thread_jumps", "crossjump"]
 
 
+@declare_pass("cfg")
 def thread_jumps(fn: Function) -> bool:
     cfg = fn.cfg
     changed = False
@@ -52,6 +54,7 @@ def thread_jumps(fn: Function) -> bool:
     return changed
 
 
+@declare_pass("cfg")
 def crossjump(fn: Function) -> bool:
     cfg = fn.cfg
     changed = False

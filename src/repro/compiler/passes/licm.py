@@ -18,12 +18,17 @@ branching outside predecessors.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ...analysis.liveness import live_in
 from ...analysis.loops import Loop, natural_loops
 from ...ir.block import BasicBlock
 from ...ir.function import Function
 from ...ir.stmt import Assign, Jump
-from .base import is_pure_scalar_expr
+from .base import declare_pass, is_pure_scalar_expr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...analysis.manager import AnalysisManager
 
 __all__ = ["loop_invariant_code_motion"]
 
@@ -57,16 +62,27 @@ def _ensure_preheader(fn: Function, loop: Loop) -> str | None:
     return label
 
 
-def loop_invariant_code_motion(fn: Function) -> bool:
+@declare_pass("cfg")  # may create preheader blocks and retarget edges
+def loop_invariant_code_motion(
+    fn: Function, am: "AnalysisManager | None" = None
+) -> bool:
     changed = False
-    # innermost-first: sort loops by body size ascending
-    loops = sorted(natural_loops(fn.cfg), key=lambda l: len(l.body))
+    # innermost-first: sort loops by body size ascending.  The loop forest is
+    # deliberately computed once (hoisting only adds preheaders outside loop
+    # bodies); per-loop liveness is re-queried after each mutation.
+    found = am.get("loops") if am is not None else natural_loops(fn.cfg)
+    loops = sorted(found, key=lambda l: len(l.body))
     for loop in loops:
-        changed |= _hoist_from_loop(fn, loop)
+        hoisted = _hoist_from_loop(fn, loop, am)
+        if hoisted and am is not None:
+            am.commit("cfg")
+        changed |= hoisted
     return changed
 
 
-def _hoist_from_loop(fn: Function, loop: Loop) -> bool:
+def _hoist_from_loop(
+    fn: Function, loop: Loop, am: "AnalysisManager | None" = None
+) -> bool:
     cfg = fn.cfg
     body = loop.body
 
@@ -79,7 +95,7 @@ def _hoist_from_loop(fn: Function, loop: Loop) -> bool:
             if isinstance(s, Assign) and not s.is_scalar_def():
                 array_defs.add(s.target.array)
 
-    live = live_in(fn)
+    live = am.get("live-in") if am is not None else live_in(fn)
     header_live = live.get(loop.header, frozenset())
     exit_live: set[str] = set()
     for _, target in loop.exits(cfg):

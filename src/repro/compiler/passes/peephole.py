@@ -20,7 +20,7 @@ from ...ir.function import Function
 from ...ir.stmt import Assign, CallStmt, CondBranch, Return
 from ...ir.types import Type
 from ...machine.cost import infer_type
-from .base import rewrite_expr
+from .base import declare_pass, rewrite_expr
 from .constprop import fold_expr
 
 __all__ = ["peephole", "strength_reduce"]
@@ -99,6 +99,7 @@ def _apply_rewrite(fn: Function, rewrite) -> bool:
     return changed
 
 
+@declare_pass("stmts")  # simplification can drop operand reads → liveness moves
 def peephole(fn: Function) -> bool:
     """Algebraic simplification + local constant folding."""
     types = fn.all_vars()
@@ -142,6 +143,9 @@ def _strength_step(e: Expr, types: dict) -> Expr:
     return e
 
 
+# x*2 → x+x, x*2^k → x<<k, x//2^k → x>>k: every rewrite reads and defines
+# exactly the same variables, so the liveness maps are bit-identical
+@declare_pass("stmts", "live-in", "live-out")
 def strength_reduce(fn: Function) -> bool:
     """Replace expensive integer ops with cheaper equivalents."""
     types = fn.all_vars()

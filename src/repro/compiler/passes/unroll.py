@@ -20,21 +20,29 @@ the builder are unrolled; anything irregular is left alone.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ...analysis.loops import natural_loops
 from ...analysis.trip_count import analyze_trip_counts
 from ...ir.block import BasicBlock
 from ...ir.function import Function
 from ...ir.stmt import Assign, CondBranch, Jump
+from .base import declare_pass
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...analysis.manager import AnalysisManager
 
 __all__ = ["unroll_loops"]
 
 MAX_BODY_STATEMENTS = 24
 
 
-def unroll_loops(fn: Function) -> bool:
+@declare_pass("cfg")  # duplicates body blocks and rewires back edges
+def unroll_loops(fn: Function, am: "AnalysisManager | None" = None) -> bool:
     cfg = fn.cfg
-    trip_counts = analyze_trip_counts(fn)
-    loops = natural_loops(cfg)
+    # both analyses are consumed upfront only; mutation happens afterwards
+    trip_counts = am.get("trip-counts") if am is not None else analyze_trip_counts(fn)
+    loops = am.get("loops") if am is not None else natural_loops(cfg)
     inner = [
         l
         for l in loops

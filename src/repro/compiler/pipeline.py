@@ -6,27 +6,41 @@ options (paper Section 4.1): it clones the IR, runs the passes the enabled
 flags select (in a fixed canonical order), validates the result, prices the
 blocks through the effect model, and emits an executable version.
 
-``VersionCache`` is a content-addressed cache over that pipeline: versions
-are keyed by a digest of the tuning section's IR, the option set, the
-machine, and the surrounding program, so re-compiling a configuration the
-search has already visited (common in Iterative Elimination's re-probing,
-and across workers of the parallel evaluator) skips the pass pipeline
-entirely.  The cache is thread-safe and deduplicates concurrent compiles of
-the same key: exactly one caller builds, the others wait and score a hit.
+Two caches make the search-space sweep incremental:
+
+* ``VersionCache`` is a content-addressed cache over whole compiles:
+  versions are keyed by a digest of the tuning section's IR, the option
+  set, the machine, and the surrounding program, so re-compiling a
+  configuration the search has already visited (common in Iterative
+  Elimination's re-probing, and across workers of the parallel evaluator)
+  skips the pipeline entirely.  Entries are LRU-evicted, and concurrent
+  compiles of the same key are deduplicated: exactly one caller builds,
+  the others wait and score a hit.
+
+* :class:`~repro.compiler.prefix.PassPrefixCache` memoizes the pipeline
+  *per step*, keyed by the digest of the intermediate IR each step ran on.
+  A compile whose pass chain shares a prefix (or, after digests re-align,
+  any suffix) with earlier compiles resumes from the deepest memoized
+  snapshot and executes only the genuinely new steps — the incremental-
+  compilation half of this module (see ``DESIGN.md`` §8).
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
+import weakref
+from collections import OrderedDict
 from typing import Callable
 
+from ..analysis.manager import AnalysisManager
 from ..ir.function import Function, Program
 from ..ir.validate import validate_function
 from ..machine.config import MachineConfig
 from ..machine.executor import ExecutableFunction, compile_function
 from .effects import compute_costing
 from .options import OptConfig
+from .passes.base import PassTraits
 from .passes.constprop import constant_propagation
 from .passes.cse import common_subexpression_elimination
 from .passes.dce import dead_code_elimination
@@ -36,12 +50,26 @@ from .passes.jumpthread import crossjump, thread_jumps
 from .passes.licm import loop_invariant_code_motion
 from .passes.peephole import peephole, strength_reduce
 from .passes.unroll import unroll_loops
+from .prefix import (
+    PassPrefixCache,
+    PrefixStats,
+    _StepEntry,
+    cached_ir_digest,
+    ir_digest,
+)
 from .version import Version
 
-__all__ = ["VersionCache", "compile_version", "run_passes", "version_key", "PASS_ORDER"]
+__all__ = [
+    "VersionCache",
+    "compile_version",
+    "effective_steps",
+    "run_passes",
+    "version_key",
+    "PASS_ORDER",
+]
 
 
-#: canonical pass order: (pass id, flag gating it, callable)
+#: canonical pass order: (pass id, flag gating it)
 PASS_ORDER: tuple[tuple[str, str], ...] = (
     ("inline", "inline-functions"),
     ("constprop", "cprop-registers"),
@@ -59,43 +87,182 @@ PASS_ORDER: tuple[tuple[str, str], ...] = (
 )
 
 
-def _run_pass(pass_id: str, fn: Function, config: OptConfig, program: Program | None) -> bool:
-    if pass_id == "inline":
-        if program is None:
-            return False
+def effective_steps(config: OptConfig, *, has_program: bool = False) -> tuple[str, ...]:
+    """The canonical step tokens *config* actually executes.
+
+    Config-gated pure no-ops are excluded (local CSE when ``gcse`` subsumes
+    it; the CSE rerun when no CSE family member is on; inlining without a
+    surrounding program), and config-dependent variants are encoded in the
+    token (``cse-rerun:g`` vs ``cse-rerun:l``), so a step token fully
+    determines the transformation applied — the property the pass-prefix
+    cache keys on.
+    """
+    steps: list[str] = []
+    for pass_id, flag in PASS_ORDER:
+        if flag not in config:
+            continue
+        if pass_id == "inline" and not has_program:
+            continue
+        if pass_id == "cse-local" and "gcse" in config:
+            continue  # gcse subsumes local CSE
+        if pass_id == "cse-rerun":
+            if "gcse" in config:
+                steps.append("cse-rerun:g")
+            elif "cse-follow-jumps" in config:
+                steps.append("cse-rerun:l")
+            continue
+        steps.append(pass_id)
+    return tuple(steps)
+
+
+def _apply_step(
+    step: str,
+    fn: Function,
+    program: Program | None,
+    am: AnalysisManager | None,
+) -> bool:
+    """Execute one step token in place; return whether the IR changed."""
+    if step == "inline":
+        assert program is not None  # excluded by effective_steps otherwise
         return inline_calls(fn, program)
-    if pass_id == "constprop":
+    if step == "constprop":
         return constant_propagation(fn)
-    if pass_id == "peephole":
+    if step == "peephole":
         return peephole(fn)
-    if pass_id == "jumpthread":
+    if step == "jumpthread":
         return thread_jumps(fn)
-    if pass_id == "crossjump":
+    if step == "crossjump":
         return crossjump(fn)
-    if pass_id == "cse-local":
-        # local CSE only when gcse is off (gcse subsumes it)
-        if "gcse" in config:
-            return False
+    if step == "cse-local":
         return common_subexpression_elimination(fn, global_scope=False)
-    if pass_id == "gcse":
+    if step == "gcse":
         return common_subexpression_elimination(fn, global_scope=True)
-    if pass_id in ("licm",):
-        return loop_invariant_code_motion(fn)
-    if pass_id == "cse-rerun":
-        if "gcse" not in config and "cse-follow-jumps" not in config:
-            return False
-        return common_subexpression_elimination(
-            fn, global_scope="gcse" in config
-        )
-    if pass_id == "strength":
+    if step == "licm":
+        return loop_invariant_code_motion(fn, am)
+    if step == "cse-rerun:g":
+        return common_subexpression_elimination(fn, global_scope=True)
+    if step == "cse-rerun:l":
+        return common_subexpression_elimination(fn, global_scope=False)
+    if step == "strength":
         return strength_reduce(fn)
-    if pass_id == "unroll":
-        return unroll_loops(fn)
-    if pass_id == "ifconv":
+    if step == "unroll":
+        return unroll_loops(fn, am)
+    if step == "ifconv":
         return if_conversion(fn)
-    if pass_id == "dce":
-        return dead_code_elimination(fn)
-    raise ValueError(f"unknown pass {pass_id!r}")  # pragma: no cover
+    if step == "dce":
+        return dead_code_elimination(fn, am)
+    raise ValueError(f"unknown step {step!r}")  # pragma: no cover
+
+
+#: what each step mutates / preserves (from the pass's declaration)
+_STEP_TRAITS: dict[str, PassTraits] = {
+    "inline": inline_calls.traits,
+    "constprop": constant_propagation.traits,
+    "peephole": peephole.traits,
+    "jumpthread": thread_jumps.traits,
+    "crossjump": crossjump.traits,
+    "cse-local": common_subexpression_elimination.traits,
+    "gcse": common_subexpression_elimination.traits,
+    "cse-rerun:g": common_subexpression_elimination.traits,
+    "cse-rerun:l": common_subexpression_elimination.traits,
+    "licm": loop_invariant_code_motion.traits,
+    "strength": strength_reduce.traits,
+    "unroll": unroll_loops.traits,
+    "ifconv": if_conversion.traits,
+    "dce": dead_code_elimination.traits,
+}
+
+
+def _run_pipeline(
+    fn: Function,
+    config: OptConfig,
+    *,
+    program: Program | None = None,
+    checked: bool = False,
+    prefix_cache: PassPrefixCache | None = None,
+    prefix_stats: PrefixStats | None = None,
+    program_hash: str | None = None,
+) -> tuple[Function, AnalysisManager, _StepEntry | None]:
+    """Run the pipeline.
+
+    Returns the transformed copy, its analysis manager (warm for whatever
+    the last steps computed), and — when a prefix cache is in play — the
+    memo entry whose snapshot equals the final IR (the last *changing*
+    step; later no-op steps leave the IR untouched).  ``compile_version``
+    enriches that entry with post-costing analyses and a validation mark.
+    """
+    steps = effective_steps(config, has_program=program is not None)
+
+    if prefix_cache is None:
+        out = fn.copy()
+        am = AnalysisManager(out)
+        for step in steps:
+            before = out.ir_stamp
+            if _apply_step(step, out, program, am) and out.ir_stamp == before:
+                # the pass did not self-report its mutations; commit for it
+                traits = _STEP_TRAITS[step]
+                am.commit(traits.mutates, traits.preserves)
+            if checked:
+                validate_function(out)
+        return out, am, None
+
+    context = (
+        program_hash
+        if program_hash is not None
+        else _shared_program_digests.digest(program)
+    )
+
+    # chain walk: follow memoized steps from the pristine IR's digest,
+    # remembering the deepest materialized snapshot along the way
+    cur = cached_ir_digest(fn)
+    hit_depth = 0
+    resume_from: _StepEntry | None = None
+    for step in steps:
+        entry = prefix_cache.lookup(context, cur, step)
+        if entry is None:
+            break
+        cur = entry.out_digest
+        hit_depth += 1
+        if entry.snapshot is not None:
+            resume_from = entry
+
+    if prefix_stats is not None:
+        prefix_stats.compiles += 1
+        prefix_stats.steps_total += len(steps)
+        prefix_stats.steps_saved += hit_depth
+        prefix_stats.steps_run += len(steps) - hit_depth
+        if steps and hit_depth == len(steps):
+            prefix_stats.full_hits += 1
+
+    if resume_from is not None:
+        # all steps between the snapshot and hit_depth were no-ops, so the
+        # snapshot *is* the IR state at the resume point
+        out = resume_from.snapshot.copy()
+        am = AnalysisManager.resume(out, resume_from.analyses)
+    else:
+        out = fn.copy()
+        am = AnalysisManager(out)
+
+    owner = resume_from
+    for step in steps[hit_depth:]:
+        step_in = cur
+        before = out.ir_stamp
+        changed = _apply_step(step, out, program, am)
+        if changed and out.ir_stamp == before:
+            traits = _STEP_TRAITS[step]
+            am.commit(traits.mutates, traits.preserves)
+        if checked:
+            # validate before memoizing: an invalid intermediate state must
+            # never be served to a later compile
+            validate_function(out)
+        if changed:
+            cur = ir_digest(out)
+            entry = _StepEntry(cur, out.copy(), am.export())
+            owner = entry
+        else:
+            entry = _StepEntry(step_in, None, None)
+        prefix_cache.store(context, step_in, step, entry)
+    return out, am, owner
 
 
 def run_passes(
@@ -104,15 +271,23 @@ def run_passes(
     *,
     program: Program | None = None,
     checked: bool = False,
+    prefix_cache: PassPrefixCache | None = None,
+    prefix_stats: PrefixStats | None = None,
 ) -> Function:
-    """Apply the passes enabled by *config* (in canonical order) to a copy."""
-    out = fn.copy()
-    for pass_id, flag in PASS_ORDER:
-        if flag not in config:
-            continue
-        _run_pass(pass_id, out, config, program)
-        if checked:
-            validate_function(out)
+    """Apply the passes enabled by *config* (in canonical order) to a copy.
+
+    With *prefix_cache*, shared step chains are resumed from memoized IR
+    snapshots instead of re-executed; the result is bit-identical either
+    way (enforced by ``tests/compiler/test_incremental_differential.py``).
+    """
+    out, _, _ = _run_pipeline(
+        fn,
+        config,
+        program=program,
+        checked=checked,
+        prefix_cache=prefix_cache,
+        prefix_stats=prefix_stats,
+    )
     return out
 
 
@@ -128,6 +303,51 @@ def _program_digest(program: Program | None) -> str:
         h.update(name.encode())
         h.update(str(program.functions[name]).encode())
     return h.hexdigest()
+
+
+class _ProgramDigestMemo:
+    """Bounded memo of program digests, keyed by object identity.
+
+    ``id()`` keys alone are unsafe — CPython reuses addresses, so a dead
+    program's digest could leak onto an unrelated new object.  Each entry
+    therefore carries a weak reference that is validated on lookup, and the
+    memo is LRU-bounded so long-lived caches cannot grow without bound.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[int, tuple[weakref.ref, str]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def digest(self, program: Program | None) -> str:
+        if program is None:
+            return "-"
+        key = id(program)
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                ref, dig = hit
+                if ref() is program:
+                    self._entries.move_to_end(key)
+                    return dig
+                del self._entries[key]  # id reuse: stale entry for a dead object
+        dig = _program_digest(program)
+        with self._lock:
+            self._entries[key] = (weakref.ref(program), dig)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return dig
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: module-wide digest memo used when compiling without a VersionCache
+_shared_program_digests = _ProgramDigestMemo()
 
 
 def version_key(
@@ -166,7 +386,9 @@ class VersionCache:
     ``get_or_compile`` returns ``(version, hit)``.  Concurrent requests for
     the same key are deduplicated: the first caller runs the pass pipeline,
     later callers block until it lands and count as hits (they skipped the
-    compile).  Program digests are memoized by object identity — programs
+    compile).  Bounded caches evict in true LRU order (a hit refreshes the
+    entry; ``evictions`` counts what was dropped).  Program digests are
+    memoized by object identity with weak-reference validation — programs
     are treated as immutable for the lifetime of the cache, which holds for
     the tuning pipeline (passes always transform copies).
     """
@@ -175,10 +397,11 @@ class VersionCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._lock = threading.Lock()
-        self._entries: dict[str, Version] = {}
+        self._entries: OrderedDict[str, Version] = OrderedDict()
         self._building: dict[str, threading.Event] = {}
-        self._program_hashes: dict[int, str] = {}
+        self._program_hashes = _ProgramDigestMemo()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -191,8 +414,10 @@ class VersionCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._program_hashes.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def key_for(
         self,
@@ -203,16 +428,9 @@ class VersionCache:
         program: Program | None = None,
         checked: bool = True,
     ) -> str:
-        if program is None:
-            prog_hash = "-"
-        else:
-            prog_hash = self._program_hashes.get(id(program))
-            if prog_hash is None:
-                prog_hash = _program_digest(program)
-                self._program_hashes[id(program)] = prog_hash
         return version_key(
             fn, config, machine, program=program, checked=checked,
-            _program_hash=prog_hash,
+            _program_hash=self._program_hashes.digest(program),
         )
 
     def get_or_compile(
@@ -223,6 +441,7 @@ class VersionCache:
             with self._lock:
                 v = self._entries.get(key)
                 if v is not None:
+                    self._entries.move_to_end(key)
                     self.hits += 1
                     return v, True
                 event = self._building.get(key)
@@ -239,10 +458,11 @@ class VersionCache:
                 finally:
                     with self._lock:
                         if v is not None:
-                            if self.max_entries is not None and \
-                                    len(self._entries) >= self.max_entries:
-                                self._entries.pop(next(iter(self._entries)))
                             self._entries[key] = v
+                            if self.max_entries is not None:
+                                while len(self._entries) > self.max_entries:
+                                    self._entries.popitem(last=False)
+                                    self.evictions += 1
                         self.misses += 1
                         self._building.pop(key, None)
                         event.set()
@@ -260,24 +480,31 @@ def compile_version(
     checked: bool = True,
     callees: dict[str, ExecutableFunction] | None = None,
     cache: VersionCache | None = None,
+    prefix_cache: PassPrefixCache | None = None,
+    prefix_stats: PrefixStats | None = None,
 ) -> Version:
     """Compile tuning section *fn* under *config* for *machine*.
 
     With *cache*, the compile is served from / recorded into the
     content-addressed version cache (explicit *callees* bypass it: they are
-    caller-specific and not part of the content key).
+    caller-specific and not part of the content key).  With *prefix_cache*,
+    a cache miss resumes the pass pipeline from the deepest memoized IR
+    snapshot instead of starting cold.
     """
     if cache is not None and callees is None:
         key = cache.key_for(fn, config, machine, program=program, checked=checked)
         version, _ = cache.get_or_compile(
             key,
             lambda: _compile_uncached(
-                fn, config, machine, program=program, checked=checked, callees=None
+                fn, config, machine, program=program, checked=checked,
+                callees=None, prefix_cache=prefix_cache,
+                prefix_stats=prefix_stats,
             ),
         )
         return version
     return _compile_uncached(
-        fn, config, machine, program=program, checked=checked, callees=callees
+        fn, config, machine, program=program, checked=checked, callees=callees,
+        prefix_cache=prefix_cache, prefix_stats=prefix_stats,
     )
 
 
@@ -289,14 +516,32 @@ def _compile_uncached(
     program: Program | None = None,
     checked: bool = True,
     callees: dict[str, ExecutableFunction] | None = None,
+    prefix_cache: PassPrefixCache | None = None,
+    prefix_stats: PrefixStats | None = None,
 ) -> Version:
-    transformed = run_passes(fn, config, program=program, checked=False)
-    if checked:
+    transformed, am, owner = _run_pipeline(
+        fn,
+        config,
+        program=program,
+        checked=False,
+        prefix_cache=prefix_cache,
+        prefix_stats=prefix_stats,
+    )
+    if checked and not (owner is not None and owner.validated):
+        # a marked owner snapshot is bit-identical IR a previous checked
+        # compile already validated
         validate_function(
             transformed,
             known_functions=set(program.functions) if program else None,
         )
-    costing = compute_costing(transformed, config, machine)
+    costing = compute_costing(transformed, config, machine, am=am)
+    if owner is not None:
+        # write the analyses costing just computed back into the memo row:
+        # the next compile resuming from this snapshot prices with them warm
+        # (stamps stay consistent — no step after the owner changed the IR)
+        owner.analyses = am.export()
+        if checked:
+            owner.validated = True
     resolved_callees = dict(callees or {})
     if program is not None:
         # compile remaining callees (un-inlined calls) at -O3-equivalent

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..compiler.options import OptConfig
 from ..compiler.pipeline import VersionCache, compile_version
+from ..compiler.prefix import PassPrefixCache, PrefixStats
 from ..compiler.version import Version
 from ..machine.config import MachineConfig
 from ..machine.perturb import NoiseModel
@@ -95,6 +96,10 @@ class EngineSpec:
     #: execution tier for every simulated invocation (0 = interpreter,
     #: 1 = trace JIT; results are bit-identical either way)
     exec_tier: int = 0
+    #: share pass-prefix IR snapshots across compiles, so configurations
+    #: with overlapping pass chains resume mid-pipeline instead of starting
+    #: cold (results are bit-identical either way)
+    use_prefix_cache: bool = True
 
 
 class _WorkerContext:
@@ -132,6 +137,9 @@ class _WorkerContext:
         self.plan = plan
         self.ds = workload.dataset(spec.dataset)
         self.cache: VersionCache | None = VersionCache() if spec.use_cache else None
+        self.prefix_cache: PassPrefixCache | None = (
+            PassPrefixCache() if spec.use_prefix_cache else None
+        )
 
 
 #: process-pool workers keep their context in a module global (set by
@@ -190,6 +198,7 @@ class _TaskOutcome:
     ledger: TuningLedger
     cache_hits: int
     cache_misses: int
+    prefix: PrefixStats
     wall_seconds: float
     worker: str
 
@@ -207,6 +216,7 @@ class _TaskRater:
         self.ctx = ctx
         self.task = task
         self.stats = _CacheStats()
+        self.prefix_stats = PrefixStats()
         self.ledger = TuningLedger()
         self.n_rated = 0
         spec = ctx.spec
@@ -237,6 +247,7 @@ class _TaskRater:
             return compile_version(
                 fn, config, spec.machine,
                 program=ctx.workload.program, checked=spec.checked,
+                prefix_cache=ctx.prefix_cache, prefix_stats=self.prefix_stats,
             )
         cache_key = ctx.cache.key_for(
             fn, config, spec.machine,
@@ -247,6 +258,7 @@ class _TaskRater:
             lambda: compile_version(
                 fn, config, spec.machine,
                 program=ctx.workload.program, checked=spec.checked,
+                prefix_cache=ctx.prefix_cache, prefix_stats=self.prefix_stats,
             ),
         )
         if hit:
@@ -381,6 +393,7 @@ def _run_task(ctx: _WorkerContext, task: _Task) -> _TaskOutcome:
         ledger=rater.ledger,
         cache_hits=rater.stats.hits,
         cache_misses=rater.stats.misses,
+        prefix=rater.prefix_stats,
         wall_seconds=time.perf_counter() - t0,
         worker=_worker_label(),
     )
@@ -468,6 +481,12 @@ class BatchRatingEngine:
         for out in outcomes:
             self.ledger.absorb(out.ledger)
             self.ledger.record_cache(out.cache_hits, out.cache_misses)
+            self.ledger.record_prefix(
+                out.prefix.compiles,
+                out.prefix.full_hits,
+                out.prefix.steps_saved,
+                out.prefix.steps_run,
+            )
             self.ledger.record_wall(out.worker, out.wall_seconds)
             self.n_rated += out.n_rated
         return outcomes

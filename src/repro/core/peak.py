@@ -219,6 +219,7 @@ class PeakTuner:
         jobs: int | None = None,
         parallel_backend: str = "auto",
         use_version_cache: bool = True,
+        use_prefix_cache: bool = True,
         exec_tier: int = 0,
     ) -> None:
         self.machine = machine
@@ -236,6 +237,9 @@ class PeakTuner:
         self.jobs = jobs
         self.parallel_backend = parallel_backend
         self.use_version_cache = use_version_cache
+        #: resume compiles from shared pass-prefix IR snapshots (parallel
+        #: engine only; versions are bit-identical either way)
+        self.use_prefix_cache = use_prefix_cache
         #: execution tier for every simulated invocation (0 = paper-faithful
         #: interpreter, 1 = trace JIT; ratings are bit-identical either way)
         self.exec_tier = exec_tier
@@ -308,6 +312,7 @@ class PeakTuner:
                 base_seed=self.seed,
                 use_cache=self.use_version_cache,
                 exec_tier=self.exec_tier,
+                use_prefix_cache=self.use_prefix_cache,
             )
             with BatchRatingEngine(
                 spec,

@@ -35,6 +35,30 @@ class Function:
     locals: dict[str, Type] = field(default_factory=dict)
     #: return type, or None for void functions.
     return_type: Type | None = None
+    #: IR mutation counters (see :mod:`repro.analysis.manager`): passes bump
+    #: ``cfg_version`` when they change the graph shape (blocks, edges,
+    #: terminator targets) and ``stmt_version`` for any statement-level
+    #: change.  Analyses cache results stamped with these counters, so
+    #: results survive across passes that did not invalidate them.
+    cfg_version: int = field(default=0, compare=False, repr=False)
+    stmt_version: int = field(default=0, compare=False, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # mutation bookkeeping
+
+    def bump_stmts(self) -> None:
+        """Record a statement-level mutation (CFG shape untouched)."""
+        self.stmt_version += 1
+
+    def bump_cfg(self) -> None:
+        """Record a CFG-shape mutation (implies statement-level too)."""
+        self.cfg_version += 1
+        self.stmt_version += 1
+
+    @property
+    def ir_stamp(self) -> tuple[int, int]:
+        """The current ``(cfg_version, stmt_version)`` mutation stamp."""
+        return (self.cfg_version, self.stmt_version)
 
     # ------------------------------------------------------------------ #
 
@@ -64,12 +88,16 @@ class Function:
         return [p.name for p in self.params if is_array(p.type)]
 
     def copy(self) -> "Function":
+        # the mutation stamp travels with the copy: a snapshot restored from
+        # the pass-prefix cache keeps its analysis-cache entries valid
         return Function(
             name=self.name,
             params=list(self.params),
             cfg=self.cfg.copy(),
             locals=dict(self.locals),
             return_type=self.return_type,
+            cfg_version=self.cfg_version,
+            stmt_version=self.stmt_version,
         )
 
     def __str__(self) -> str:

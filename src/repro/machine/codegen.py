@@ -188,6 +188,15 @@ def exec_namespace(**extra: object) -> dict:
     return namespace
 
 
+#: memo of compiled code objects keyed by generated source — identical
+#: blocks recur constantly across the tuning search (the same IR compiled
+#: under many configurations), and ``builtins.compile`` dominates codegen
+#: time.  Code objects are immutable; each call still ``exec``\ s into a
+#: fresh namespace, so sharing them is safe.
+_CODE_MEMO: dict[tuple[str, str], object] = {}
+_CODE_MEMO_MAX = 4096
+
+
 def compile_block_fn(
     blk: BasicBlock, types: dict[str, Type]
 ) -> Callable[[dict, list], tuple[str, bool | None]]:
@@ -205,7 +214,13 @@ def compile_block_fn(
     src += "\n".join(em.lines) + "\n"
 
     namespace = exec_namespace()
-    code = compile(src, f"<block {blk.label}>", "exec")
+    memo_key = (blk.label, src)
+    code = _CODE_MEMO.get(memo_key)
+    if code is None:
+        if len(_CODE_MEMO) >= _CODE_MEMO_MAX:
+            _CODE_MEMO.clear()
+        code = compile(src, f"<block {blk.label}>", "exec")
+        _CODE_MEMO[memo_key] = code
     exec(code, namespace)
     fn = namespace[fn_name]
     fn.__source__ = src  # for debugging

@@ -37,6 +37,12 @@ class TuningLedger:
     #: compiled-version cache traffic (parallel/batch engine only)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: pass-prefix cache traffic: compiles routed through the cache, compiles
+    #: whose whole step chain was memoized, and pipeline steps saved vs run
+    prefix_compiles: int = 0
+    prefix_full_hits: int = 0
+    prefix_steps_saved: int = 0
+    prefix_steps_run: int = 0
     #: wall-clock seconds of rating work, per worker label
     wall_by_worker: dict[str, float] = field(default_factory=dict)
 
@@ -61,6 +67,17 @@ class TuningLedger:
         self.cache_hits += hits
         self.cache_misses += misses
 
+    def record_prefix(
+        self, compiles: int, full_hits: int, steps_saved: int, steps_run: int
+    ) -> None:
+        """Account pass-prefix cache traffic (incremental compilation)."""
+        if min(compiles, full_hits, steps_saved, steps_run) < 0:
+            raise ValueError("prefix counters cannot be negative")
+        self.prefix_compiles += compiles
+        self.prefix_full_hits += full_hits
+        self.prefix_steps_saved += steps_saved
+        self.prefix_steps_run += steps_run
+
     def record_wall(self, worker: str, seconds: float) -> None:
         """Account wall-clock rating time spent on *worker*."""
         if seconds < 0:
@@ -81,6 +98,12 @@ class TuningLedger:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def prefix_save_rate(self) -> float:
+        """Fraction of pipeline steps served from the pass-prefix cache."""
+        total = self.prefix_steps_saved + self.prefix_steps_run
+        return self.prefix_steps_saved / total if total else 0.0
+
     def absorb(self, other: "TuningLedger") -> None:
         """Merge *other* into this ledger in place (parallel task results)."""
         for k, v in other.by_category.items():
@@ -89,6 +112,10 @@ class TuningLedger:
         self.program_runs += other.program_runs
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.prefix_compiles += other.prefix_compiles
+        self.prefix_full_hits += other.prefix_full_hits
+        self.prefix_steps_saved += other.prefix_steps_saved
+        self.prefix_steps_run += other.prefix_steps_run
         for w, s in other.wall_by_worker.items():
             self.wall_by_worker[w] = self.wall_by_worker.get(w, 0.0) + s
 
@@ -99,6 +126,10 @@ class TuningLedger:
             program_runs=self.program_runs,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
+            prefix_compiles=self.prefix_compiles,
+            prefix_full_hits=self.prefix_full_hits,
+            prefix_steps_saved=self.prefix_steps_saved,
+            prefix_steps_run=self.prefix_steps_run,
             wall_by_worker=dict(self.wall_by_worker),
         )
         out.absorb(other)
@@ -116,6 +147,12 @@ class TuningLedger:
             text += (
                 f" [cache {self.cache_hits}h/{self.cache_misses}m "
                 f"{self.cache_hit_rate:.0%}]"
+            )
+        if self.prefix_compiles:
+            text += (
+                f" [prefix {self.prefix_full_hits}/{self.prefix_compiles} full, "
+                f"{self.prefix_steps_saved} steps saved "
+                f"({self.prefix_save_rate:.0%})]"
             )
         if self.wall_by_worker:
             text += (

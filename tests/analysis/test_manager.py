@@ -1,0 +1,148 @@
+"""Unit tests for the AnalysisManager (version-stamped analysis caching)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.liveness import live_in
+from repro.analysis.loops import natural_loops
+from repro.analysis.manager import ANALYSES, AnalysisManager
+from repro.ir import ArrayRef, FunctionBuilder, Type
+
+
+def loop_kernel():
+    b = FunctionBuilder(
+        "k", [("n", Type.INT), ("a", Type.FLOAT_ARRAY)], return_type=Type.FLOAT
+    )
+    b.local("acc", Type.FLOAT)
+    with b.for_("i", 0, b.var("n")) as i:
+        b.assign("acc", b.var("acc") + ArrayRef("a", i))
+    b.ret(b.var("acc"))
+    return b.build()
+
+
+class TestCaching:
+    def test_repeat_query_hits(self):
+        am = AnalysisManager(loop_kernel())
+        first = am.get("loops")
+        second = am.get("loops")
+        assert first is second
+        assert (am.hits, am.misses) == (1, 1)
+
+    def test_results_match_direct_computation(self):
+        fn = loop_kernel()
+        am = AnalysisManager(fn)
+        assert repr(am.get("loops")) == repr(natural_loops(fn.cfg))
+        assert am.get("live-in") == live_in(fn)
+
+    def test_every_registered_analysis_computes(self):
+        am = AnalysisManager(loop_kernel())
+        for name in ANALYSES:
+            am.get(name)
+            assert am.is_cached(name), name
+
+    def test_unknown_analysis_raises(self):
+        am = AnalysisManager(loop_kernel())
+        with pytest.raises(KeyError):
+            am.get("points-to-the-moon")
+
+
+class TestInvalidation:
+    def test_stmt_mutation_keeps_cfg_level_entries(self):
+        fn = loop_kernel()
+        am = AnalysisManager(fn)
+        am.get("loops")  # cfg-level
+        am.get("live-in")  # stmt-level
+        am.commit("stmts")
+        assert am.is_cached("loops")
+        assert not am.is_cached("live-in")
+
+    def test_cfg_mutation_invalidates_everything(self):
+        am = AnalysisManager(loop_kernel())
+        am.get("loops")
+        am.get("live-in")
+        am.commit("cfg")
+        assert not am.is_cached("loops")
+        assert not am.is_cached("live-in")
+        assert am.cached_names() == []
+
+    def test_commit_bumps_the_function_stamp(self):
+        fn = loop_kernel()
+        am = AnalysisManager(fn)
+        cfg_v, stmt_v = fn.ir_stamp
+        am.commit("stmts")
+        assert fn.ir_stamp == (cfg_v, stmt_v + 1)
+        am.commit("cfg")
+        assert fn.cfg_version == cfg_v + 1
+
+    def test_preserves_restamps_named_entries(self):
+        am = AnalysisManager(loop_kernel())
+        before = am.get("live-in")
+        am.get("trip-counts")
+        am.commit("stmts", frozenset({"live-in"}))
+        assert am.is_cached("live-in")
+        assert am.get("live-in") is before, "preserved result must be reused"
+        assert not am.is_cached("trip-counts")
+
+    def test_preserves_only_applies_to_entries_valid_before(self):
+        """A stale entry must not be resurrected by a preserve claim."""
+        am = AnalysisManager(loop_kernel())
+        am.get("live-in")
+        am.commit("stmts")  # live-in is now stale
+        am.commit("stmts", frozenset({"live-in"}))
+        assert not am.is_cached("live-in")
+
+    def test_explicit_invalidate(self):
+        am = AnalysisManager(loop_kernel())
+        am.get("loops")
+        am.get("live-in")
+        am.invalidate("loops")
+        assert not am.is_cached("loops") and am.is_cached("live-in")
+        am.invalidate_all()
+        assert am.cached_names() == []
+
+
+class TestSnapshotPlumbing:
+    def test_export_drops_stale_entries(self):
+        am = AnalysisManager(loop_kernel())
+        am.get("loops")
+        am.get("live-in")
+        am.commit("stmts")
+        exported = am.export()
+        assert set(exported) == {"loops"}
+
+    def test_resume_on_a_copy_shares_results(self):
+        fn = loop_kernel()
+        am = AnalysisManager(fn)
+        loops = am.get("loops")
+        live = am.get("live-in")
+        snapshot = fn.copy()  # copy preserves the mutation stamp
+        resumed = AnalysisManager.resume(snapshot, am.export())
+        assert resumed.get("loops") is loops
+        assert resumed.get("live-in") is live
+        assert resumed.misses == 0
+
+    def test_resumed_entries_go_stale_independently(self):
+        fn = loop_kernel()
+        am = AnalysisManager(fn)
+        am.get("live-in")
+        resumed = AnalysisManager.resume(fn.copy(), am.export())
+        resumed.commit("stmts")
+        assert not resumed.is_cached("live-in")
+        assert am.is_cached("live-in"), "the source manager is unaffected"
+
+    def test_export_stamps_are_isolated(self):
+        """Re-stamping in the source after export must not retroactively
+        validate the exported copy (entries are copied, results shared)."""
+        fn = loop_kernel()
+        am = AnalysisManager(fn)
+        am.get("live-in")
+        exported = am.export()
+        am.commit("stmts", frozenset({"live-in"}))
+        assert exported["live-in"].stamp != am._cache["live-in"].stamp
+
+    def test_resume_with_no_seed(self):
+        fn = loop_kernel()
+        resumed = AnalysisManager.resume(fn, None)
+        resumed.get("loops")
+        assert resumed.misses == 1

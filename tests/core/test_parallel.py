@@ -26,7 +26,7 @@ from repro.workloads import get_workload
 FLAGS = ("strength-reduce", "schedule-insns", "inline-functions")
 
 
-def _tune(jobs=None, backend="auto", cache=True, flags=FLAGS, seed=1):
+def _tune(jobs=None, backend="auto", cache=True, prefix=True, flags=FLAGS, seed=1):
     tuner = PeakTuner(
         PENTIUM4,
         seed=seed,
@@ -34,6 +34,7 @@ def _tune(jobs=None, backend="auto", cache=True, flags=FLAGS, seed=1):
         jobs=jobs,
         parallel_backend=backend,
         use_version_cache=cache,
+        use_prefix_cache=prefix,
     )
     return tuner.tune(get_workload("swim"), dataset="train", flags=flags)
 
@@ -169,6 +170,59 @@ class TestVersionCache:
         o3 = OptConfig.o3()
         assert version_key(swim, o3, PENTIUM4) != version_key(mgrid, o3, PENTIUM4)
 
+    def test_lru_eviction_respects_recency(self):
+        cache = VersionCache(max_entries=2)
+        cache.get_or_compile("a", lambda: "A")
+        cache.get_or_compile("b", lambda: "B")
+        cache.get_or_compile("a", lambda: "A")  # refresh: b is now the LRU
+        cache.get_or_compile("c", lambda: "C")
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        _, hit_a = cache.get_or_compile("a", lambda: "A2")
+        _, hit_b = cache.get_or_compile("b", lambda: "B2")
+        assert hit_a is True, "the refreshed entry must survive eviction"
+        assert hit_b is False, "the least recently used entry was dropped"
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = VersionCache()
+        for i in range(50):
+            cache.get_or_compile(str(i), object)
+        assert len(cache) == 50 and cache.evictions == 0
+
+    def test_clear_resets_eviction_counter_and_program_memo(self):
+        from repro.ir import Program
+
+        cache = VersionCache(max_entries=1)
+        fn = get_workload("swim").ts
+        program = Program("p", functions={fn.name: fn})
+        cache.key_for(fn, OptConfig.o3(), PENTIUM4, program=program)
+        cache.get_or_compile("a", object)
+        cache.get_or_compile("b", object)
+        assert cache.evictions == 1
+        assert len(cache._program_hashes) == 1
+        cache.clear()
+        assert cache.evictions == 0
+        assert len(cache._program_hashes) == 0, (
+            "clear() must drop memoized program digests (id-keyed entries "
+            "would otherwise go stale across cache generations)"
+        )
+
+    def test_program_digest_memoized_by_identity(self):
+        from repro.ir import Program
+
+        cache = VersionCache()
+        fn = get_workload("swim").ts
+        program = Program("p", functions={fn.name: fn})
+        k1 = cache.key_for(fn, OptConfig.o3(), PENTIUM4, program=program)
+        k2 = cache.key_for(fn, OptConfig.o3(), PENTIUM4, program=program)
+        assert k1 == k2
+        assert len(cache._program_hashes) == 1
+        # the memo is an optimisation, not part of the key: an equal-content
+        # program yields the same key through a fresh digest
+        clone = Program("p", functions={fn.name: fn})
+        assert cache.key_for(fn, OptConfig.o3(), PENTIUM4, program=clone) == k1
+        assert len(cache._program_hashes) == 2
+
     def test_concurrent_same_key_deduplicates(self):
         import threading
         import time
@@ -195,6 +249,56 @@ class TestVersionCache:
         assert built == [1], "only one thread may run the pass pipeline"
         assert {v for v, _ in results} == {"V"}
         assert cache.misses == 1 and cache.hits == 3
+
+
+# --------------------------------------------------------------------------- #
+# program-digest memo (id-keyed, weakref-validated, bounded)
+
+
+class TestProgramDigestMemo:
+    def _memo(self, **kw):
+        from repro.compiler.pipeline import _ProgramDigestMemo
+
+        return _ProgramDigestMemo(**kw)
+
+    def _program(self, name="p"):
+        from repro.ir import Program
+
+        fn = get_workload("swim").ts
+        return Program(name, functions={fn.name: fn})
+
+    def test_none_program_is_a_constant(self):
+        memo = self._memo()
+        assert memo.digest(None) == "-"
+        assert len(memo) == 0
+
+    def test_stale_id_entry_is_not_served(self):
+        """An entry whose weak referent died must be recomputed, even if a
+        new program lands on the same ``id`` (CPython reuses addresses)."""
+        import weakref
+
+        class _Husk:
+            pass
+
+        memo = self._memo()
+        program = self._program()
+        husk = _Husk()
+        dead = weakref.ref(husk)
+        del husk
+        assert dead() is None
+        # simulate id reuse: a dead entry squatting on this program's id
+        memo._entries[id(program)] = (dead, "stale-digest")
+        assert memo.digest(program) != "stale-digest"
+        assert memo.digest(program) == memo.digest(program)
+
+    def test_bounded(self):
+        memo = self._memo(max_entries=2)
+        programs = [self._program(f"p{i}") for i in range(5)]
+        for p in programs:
+            memo.digest(p)
+        assert len(memo) == 2
+        memo.clear()
+        assert len(memo) == 0
 
 
 # --------------------------------------------------------------------------- #
@@ -231,6 +335,41 @@ class TestLedgerAccounting:
         text = ledger.summary()
         assert "cache 1h/1m" in text
         assert "wall" in text
+
+    def test_prefix_recording_and_save_rate(self):
+        ledger = TuningLedger()
+        ledger.record_prefix(10, 4, 90, 30)
+        ledger.record_prefix(2, 1, 10, 5)
+        assert ledger.prefix_compiles == 12
+        assert ledger.prefix_full_hits == 5
+        assert ledger.prefix_steps_saved == 100
+        assert ledger.prefix_steps_run == 35
+        assert ledger.prefix_save_rate == pytest.approx(100 / 135)
+        with pytest.raises(ValueError):
+            ledger.record_prefix(1, -1, 0, 0)
+
+    def test_prefix_save_rate_empty_is_zero(self):
+        assert TuningLedger().prefix_save_rate == 0.0
+
+    def test_absorb_merges_prefix_counters(self):
+        a, b = TuningLedger(), TuningLedger()
+        a.record_prefix(3, 1, 20, 10)
+        b.record_prefix(5, 2, 40, 15)
+        merged = a.merged(b)
+        a.absorb(b)
+        for ledger in (a, merged):
+            assert ledger.prefix_compiles == 8
+            assert ledger.prefix_full_hits == 3
+            assert ledger.prefix_steps_saved == 60
+            assert ledger.prefix_steps_run == 25
+
+    def test_summary_mentions_prefix_only_when_used(self):
+        ledger = TuningLedger()
+        assert "prefix" not in ledger.summary()
+        ledger.record_prefix(4, 2, 30, 10)
+        text = ledger.summary()
+        assert "prefix 2/4 full" in text
+        assert "30 steps saved" in text
 
 
 # --------------------------------------------------------------------------- #
@@ -272,6 +411,24 @@ class TestDeterminism:
         assert result.ledger.wall_seconds > 0
         assert len(result.ledger.wall_by_worker) >= 1
 
+    def test_no_prefix_cache_does_not_change_the_answer(self):
+        with_prefix = _tune(jobs=2, backend="thread", prefix=True)
+        without = _tune(jobs=2, backend="thread", prefix=False)
+        assert _signature(with_prefix) == _signature(without)
+        assert with_prefix.ledger.prefix_compiles > 0
+        assert with_prefix.ledger.prefix_steps_saved > 0
+        assert without.ledger.prefix_compiles == 0
+
+    def test_prefix_counters_are_consistent(self):
+        ledger = _tune(jobs=1).ledger
+        # compiles routed through the prefix cache are exactly the version-
+        # cache misses (hits never reach the pipeline)
+        assert ledger.prefix_compiles == ledger.cache_misses
+        assert ledger.prefix_full_hits <= ledger.prefix_compiles
+        assert ledger.prefix_steps_saved > 0, (
+            "an IE sweep shares pass prefixes across its probe configs"
+        )
+
 
 # --------------------------------------------------------------------------- #
 # CLI surface
@@ -280,17 +437,20 @@ class TestDeterminism:
 class TestCli:
     def test_parser_round_trip(self):
         args = build_parser().parse_args(
-            ["tune", "swim", "--jobs", "4", "--backend", "thread", "--no-cache"]
+            ["tune", "swim", "--jobs", "4", "--backend", "thread", "--no-cache",
+             "--no-prefix-cache"]
         )
         assert args.jobs == 4
         assert args.backend == "thread"
         assert args.no_cache is True
+        assert args.no_prefix_cache is True
 
     def test_parser_defaults_stay_serial(self):
         args = build_parser().parse_args(["tune", "swim"])
         assert args.jobs is None
         assert args.backend == "auto"
         assert args.no_cache is False
+        assert args.no_prefix_cache is False
 
     def test_bad_backend_rejected(self):
         with pytest.raises(SystemExit):
@@ -316,6 +476,21 @@ class TestCli:
         assert code == 0
         assert "parallel : jobs=2 backend=thread" in text
         assert "cache" in text and "wall" in text
+        assert "prefix   :" in text
+        assert "compiles fully memoized" in text
+
+    def test_tune_no_prefix_cache_omits_prefix_line(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "tune", "swim",
+                "--flags", "schedule-insns", "strength-reduce",
+                "--jobs", "2", "--backend", "thread", "--no-prefix-cache",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "prefix   :" not in out.getvalue()
 
     def test_tune_serial_omits_parallel_line(self):
         out = io.StringIO()
