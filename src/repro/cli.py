@@ -102,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated-execution tier: 0 = paper-faithful "
                         "interpreter, 1 = trace JIT (bit-identical results, "
                         "faster hot loops)")
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="record a span tree of the tuning run and write it "
+                        "as JSON-lines (one span per line, header first)")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="write the run's metrics (ledger categories, cache "
+                        "traffic, rating windows) as one schema-versioned "
+                        "JSON document")
+    p.add_argument("--obs-report", action="store_true",
+                   help="print the observability section (span tree summary "
+                        "+ metrics) without writing files")
 
     p = sub.add_parser("consistency", help="regenerate Table 1 rows")
     p.add_argument("workloads", nargs="+", choices=WORKLOAD_NAMES)
@@ -169,9 +179,12 @@ def _cmd_analyze(args, out) -> int:
 
 def _cmd_tune(args, out) -> int:
     from .core.peak import PeakTuner, evaluate_speedup
+    from .obs import Obs, render_report
 
     w = get_workload(args.workload)
     machine = machine_by_name(args.machine)
+    want_obs = bool(args.trace_out or args.metrics_out or args.obs_report)
+    obs = Obs.create() if want_obs else None
     tuner = PeakTuner(
         machine,
         seed=args.seed,
@@ -181,6 +194,7 @@ def _cmd_tune(args, out) -> int:
         use_version_cache=not args.no_cache,
         use_prefix_cache=not args.no_prefix_cache,
         exec_tier=args.exec_tier,
+        obs=obs,
     )
     method = None if args.method == "auto" else args.method
     flags = tuple(args.flags) if args.flags else None
@@ -220,6 +234,18 @@ def _cmd_tune(args, out) -> int:
                 f"({ledger.prefix_save_rate:.0%})",
                 file=out,
             )
+    if obs is not None:
+        if args.trace_out:
+            n = obs.tracer.write_jsonl(args.trace_out)
+            print(f"trace    : {n} span(s) -> {args.trace_out}", file=out)
+        if args.metrics_out:
+            obs.metrics.write_json(args.metrics_out)
+            print(f"metrics  : -> {args.metrics_out}", file=out)
+        report = render_report(obs, result.ledger)
+        if report:
+            print("observability:", file=out)
+            for line in report.splitlines():
+                print(f"  {line}", file=out)
     print(f"result   : {improvement:+.2f}% vs -O3 on ref", file=out)
     return 0
 

@@ -38,6 +38,7 @@ from ..ir.function import Function, Program
 from ..ir.validate import validate_function
 from ..machine.config import MachineConfig
 from ..machine.executor import ExecutableFunction, compile_function
+from ..obs import Obs, obs_or_null
 from .effects import compute_costing
 from .options import OptConfig
 from .passes.base import PassTraits
@@ -182,6 +183,7 @@ def _run_pipeline(
     prefix_cache: PassPrefixCache | None = None,
     prefix_stats: PrefixStats | None = None,
     program_hash: str | None = None,
+    obs: Obs | None = None,
 ) -> tuple[Function, AnalysisManager, _StepEntry | None]:
     """Run the pipeline.
 
@@ -191,6 +193,7 @@ def _run_pipeline(
     step; later no-op steps leave the IR untouched).  ``compile_version``
     enriches that entry with post-costing analyses and a validation mark.
     """
+    obs = obs_or_null(obs)
     steps = effective_steps(config, has_program=program is not None)
 
     if prefix_cache is None:
@@ -198,7 +201,10 @@ def _run_pipeline(
         am = AnalysisManager(out)
         for step in steps:
             before = out.ir_stamp
-            if _apply_step(step, out, program, am) and out.ir_stamp == before:
+            with obs.span(f"pass.{step}", "compiler") as sp:
+                changed = _apply_step(step, out, program, am)
+                sp.set("changed", changed)
+            if changed and out.ir_stamp == before:
                 # the pass did not self-report its mutations; commit for it
                 traits = _STEP_TRAITS[step]
                 am.commit(traits.mutates, traits.preserves)
@@ -234,6 +240,12 @@ def _run_pipeline(
         if steps and hit_depth == len(steps):
             prefix_stats.full_hits += 1
 
+    # annotate the enclosing compile span with the resume depth
+    enclosing = obs.tracer.current()
+    if enclosing is not None:
+        enclosing.attrs["steps"] = len(steps)
+        enclosing.attrs["resumed"] = hit_depth
+
     if resume_from is not None:
         # all steps between the snapshot and hit_depth were no-ops, so the
         # snapshot *is* the IR state at the resume point
@@ -247,7 +259,9 @@ def _run_pipeline(
     for step in steps[hit_depth:]:
         step_in = cur
         before = out.ir_stamp
-        changed = _apply_step(step, out, program, am)
+        with obs.span(f"pass.{step}", "compiler") as sp:
+            changed = _apply_step(step, out, program, am)
+            sp.set("changed", changed)
         if changed and out.ir_stamp == before:
             traits = _STEP_TRAITS[step]
             am.commit(traits.mutates, traits.preserves)
@@ -273,6 +287,7 @@ def run_passes(
     checked: bool = False,
     prefix_cache: PassPrefixCache | None = None,
     prefix_stats: PrefixStats | None = None,
+    obs: Obs | None = None,
 ) -> Function:
     """Apply the passes enabled by *config* (in canonical order) to a copy.
 
@@ -287,6 +302,7 @@ def run_passes(
         checked=checked,
         prefix_cache=prefix_cache,
         prefix_stats=prefix_stats,
+        obs=obs,
     )
     return out
 
@@ -482,6 +498,7 @@ def compile_version(
     cache: VersionCache | None = None,
     prefix_cache: PassPrefixCache | None = None,
     prefix_stats: PrefixStats | None = None,
+    obs: Obs | None = None,
 ) -> Version:
     """Compile tuning section *fn* under *config* for *machine*.
 
@@ -498,13 +515,13 @@ def compile_version(
             lambda: _compile_uncached(
                 fn, config, machine, program=program, checked=checked,
                 callees=None, prefix_cache=prefix_cache,
-                prefix_stats=prefix_stats,
+                prefix_stats=prefix_stats, obs=obs,
             ),
         )
         return version
     return _compile_uncached(
         fn, config, machine, program=program, checked=checked, callees=callees,
-        prefix_cache=prefix_cache, prefix_stats=prefix_stats,
+        prefix_cache=prefix_cache, prefix_stats=prefix_stats, obs=obs,
     )
 
 
@@ -518,6 +535,28 @@ def _compile_uncached(
     callees: dict[str, ExecutableFunction] | None = None,
     prefix_cache: PassPrefixCache | None = None,
     prefix_stats: PrefixStats | None = None,
+    obs: Obs | None = None,
+) -> Version:
+    obs = obs_or_null(obs)
+    with obs.span("compile", "compiler", fn=fn.name, flags=len(config.key())):
+        return _compile_spanned(
+            fn, config, machine, program=program, checked=checked,
+            callees=callees, prefix_cache=prefix_cache,
+            prefix_stats=prefix_stats, obs=obs,
+        )
+
+
+def _compile_spanned(
+    fn: Function,
+    config: OptConfig,
+    machine: MachineConfig,
+    *,
+    program: Program | None,
+    checked: bool,
+    callees: dict[str, ExecutableFunction] | None,
+    prefix_cache: PassPrefixCache | None,
+    prefix_stats: PrefixStats | None,
+    obs: Obs,
 ) -> Version:
     transformed, am, owner = _run_pipeline(
         fn,
@@ -526,6 +565,7 @@ def _compile_uncached(
         checked=False,
         prefix_cache=prefix_cache,
         prefix_stats=prefix_stats,
+        obs=obs,
     )
     if checked and not (owner is not None and owner.validated):
         # a marked owner snapshot is bit-identical IR a previous checked

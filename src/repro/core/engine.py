@@ -41,7 +41,7 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -52,6 +52,7 @@ from ..compiler.version import Version
 from ..machine.config import MachineConfig
 from ..machine.perturb import NoiseModel
 from ..machine.profiler import profile_tuning_section
+from ..obs import NULL_OBS, Obs, obs_or_null
 from ..runtime.instrument import TimedExecutor
 from ..runtime.ledger import TuningLedger
 from ..runtime.save_restore import SaveRestorePlan
@@ -100,6 +101,10 @@ class EngineSpec:
     #: with overlapping pass chains resume mid-pipeline instead of starting
     #: cold (results are bit-identical either way)
     use_prefix_cache: bool = True
+    #: workers build a live Obs (tracer + metrics) per task and ship the
+    #: span trees / metric registries back in the outcome; off by default —
+    #: the NULL_OBS path costs one attribute check per site
+    obs_enabled: bool = False
 
 
 class _WorkerContext:
@@ -201,6 +206,14 @@ class _TaskOutcome:
     prefix: PrefixStats
     wall_seconds: float
     worker: str
+    #: completed span trees from the task's tracer (empty when obs is off);
+    #: the parent grafts these under its batch span in submission order
+    spans: tuple = ()
+    #: the task's MetricsRegistry (None when obs is off); merged into the
+    #: parent registry
+    metrics: object | None = None
+    #: cycles the task's ledger charged outside any open span
+    unattributed: dict | None = None
 
 
 @dataclass
@@ -227,12 +240,14 @@ class _TaskRater:
             self.ledger,
             seed=spec.base_seed,
         )
+        self.obs = Obs.create() if spec.obs_enabled else NULL_OBS
         self.timed = TimedExecutor(
             spec.machine,
             seed=_task_seed(spec.base_seed, task.task_id),
             noise=spec.noise,
             ledger=self.ledger,
             exec_tier=spec.exec_tier,
+            obs=self.obs,
         )
 
     # -- compilation ---------------------------------------------------- #
@@ -248,6 +263,7 @@ class _TaskRater:
                 fn, config, spec.machine,
                 program=ctx.workload.program, checked=spec.checked,
                 prefix_cache=ctx.prefix_cache, prefix_stats=self.prefix_stats,
+                obs=self.obs,
             )
         cache_key = ctx.cache.key_for(
             fn, config, spec.machine,
@@ -259,6 +275,7 @@ class _TaskRater:
                 fn, config, spec.machine,
                 program=ctx.workload.program, checked=spec.checked,
                 prefix_cache=ctx.prefix_cache, prefix_stats=self.prefix_stats,
+                obs=self.obs,
             ),
         )
         if hit:
@@ -343,46 +360,54 @@ def _run_task(ctx: _WorkerContext, task: _Task) -> _TaskOutcome:
     speed: float | None = None
     rating: RatingResult | None = None
 
-    if task.kind == "ref":
-        rating = rater.rate_single(method, task.candidate)
-    else:
-        assert task.reference is not None
-        ref_rating = task.ref_rating
-        while True:
-            if method == "RBR":
-                result = rater.rate_rbr_pair(task.candidate, task.reference)
-                nxt = (
-                    None
-                    if result.converged
-                    else _next_method(ctx.plan, method, tuple(tried))
-                )
-                if nxt is None:
-                    speed = result.eval
-                    break
-                method = nxt
-                tried.append(nxt)
-                ref_rating = None
-                continue
-            if ref_rating is None:
-                ref_rating = rater.rate_single(method, task.reference)
-                if not ref_rating.converged:
+    # the task root span: every ledger charge of this task lands somewhere
+    # under it, so the merged tree attributes the task's full cycle cost
+    with rater.obs.span(
+        "task", "engine",
+        task_id=task.task_id, kind=task.kind, method=task.method,
+        worker=_worker_label(),
+    ):
+        if task.kind == "ref":
+            rating = rater.rate_single(method, task.candidate)
+        else:
+            assert task.reference is not None
+            ref_rating = task.ref_rating
+            while True:
+                if method == "RBR":
+                    result = rater.rate_rbr_pair(task.candidate, task.reference)
+                    nxt = (
+                        None
+                        if result.converged
+                        else _next_method(ctx.plan, method, tuple(tried))
+                    )
+                    if nxt is None:
+                        speed = result.eval
+                        break
+                    method = nxt
+                    tried.append(nxt)
+                    ref_rating = None
+                    continue
+                if ref_rating is None:
+                    ref_rating = rater.rate_single(method, task.reference)
+                    if not ref_rating.converged:
+                        nxt = _next_method(ctx.plan, method, tuple(tried))
+                        if nxt is not None:
+                            method = nxt
+                            tried.append(nxt)
+                            ref_rating = None
+                            continue
+                cand_rating = rater.rate_single(method, task.candidate)
+                if not cand_rating.converged:
                     nxt = _next_method(ctx.plan, method, tuple(tried))
                     if nxt is not None:
                         method = nxt
                         tried.append(nxt)
                         ref_rating = None
                         continue
-            cand_rating = rater.rate_single(method, task.candidate)
-            if not cand_rating.converged:
-                nxt = _next_method(ctx.plan, method, tuple(tried))
-                if nxt is not None:
-                    method = nxt
-                    tried.append(nxt)
-                    ref_rating = None
-                    continue
-            speed = cand_rating.speed_vs(ref_rating)
-            break
+                speed = cand_rating.speed_vs(ref_rating)
+                break
 
+    obs = rater.obs
     return _TaskOutcome(
         task_id=task.task_id,
         speed=speed,
@@ -396,6 +421,9 @@ def _run_task(ctx: _WorkerContext, task: _Task) -> _TaskOutcome:
         prefix=rater.prefix_stats,
         wall_seconds=time.perf_counter() - t0,
         worker=_worker_label(),
+        spans=tuple(obs.tracer.roots) if obs.tracer.enabled else (),
+        metrics=obs.metrics if obs.metrics.enabled else None,
+        unattributed=dict(obs.tracer.unattributed) if obs.tracer.enabled else None,
     )
 
 
@@ -425,7 +453,13 @@ class BatchRatingEngine:
         plan: RatingPlan | None = None,
         jobs: int | None = 1,
         backend: str = "auto",
+        obs: Obs | None = None,
     ) -> None:
+        self.obs = obs_or_null(obs)
+        if self.obs.enabled and not spec.obs_enabled:
+            # keep one source of truth: a live parent Obs implies workers
+            # must produce spans/metrics too
+            spec = replace(spec, obs_enabled=True)
         self.spec = spec
         self.evaluator = ParallelEvaluator(
             jobs=jobs,
@@ -464,6 +498,11 @@ class BatchRatingEngine:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
+    @property
+    def version_cache(self):
+        """The parent-context compiled-version cache (None when disabled)."""
+        return self._ctx.cache
+
     # ------------------------------------------------------------------ #
 
     def _next_task_id(self) -> int:
@@ -472,23 +511,32 @@ class BatchRatingEngine:
         return tid
 
     def _execute(self, tasks: list[_Task]) -> list[_TaskOutcome]:
-        if self.evaluator.backend == "process":
-            outcomes = self.evaluator.map(_run_task_in_worker, tasks)
-        else:
-            ctx = self._ctx
-            outcomes = self.evaluator.map(lambda t: _run_task(ctx, t), tasks)
-        # absorb bookkeeping in submission order (deterministic)
-        for out in outcomes:
-            self.ledger.absorb(out.ledger)
-            self.ledger.record_cache(out.cache_hits, out.cache_misses)
-            self.ledger.record_prefix(
-                out.prefix.compiles,
-                out.prefix.full_hits,
-                out.prefix.steps_saved,
-                out.prefix.steps_run,
-            )
-            self.ledger.record_wall(out.worker, out.wall_seconds)
-            self.n_rated += out.n_rated
+        with self.obs.span("batch", "engine", tasks=len(tasks)):
+            if self.evaluator.backend == "process":
+                outcomes = self.evaluator.map(_run_task_in_worker, tasks)
+            else:
+                ctx = self._ctx
+                outcomes = self.evaluator.map(lambda t: _run_task(ctx, t), tasks)
+            # absorb bookkeeping in submission order (deterministic).  The
+            # ledger absorb bypasses charge(), so worker cycles are not
+            # re-attributed here — they arrive inside the adopted spans.
+            for out in outcomes:
+                self.ledger.absorb(out.ledger)
+                self.ledger.record_cache(out.cache_hits, out.cache_misses)
+                self.ledger.record_prefix(
+                    out.prefix.compiles,
+                    out.prefix.full_hits,
+                    out.prefix.steps_saved,
+                    out.prefix.steps_run,
+                )
+                self.ledger.record_wall(out.worker, out.wall_seconds)
+                self.n_rated += out.n_rated
+                if out.spans:
+                    self.obs.tracer.adopt(out.spans)
+                if out.unattributed:
+                    self.obs.tracer.absorb_unattributed(out.unattributed)
+                if out.metrics is not None:
+                    self.obs.metrics.merge(out.metrics)
         return outcomes
 
     def _method_rank(self, method: str) -> int:

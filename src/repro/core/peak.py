@@ -39,6 +39,7 @@ from ..machine.config import MachineConfig
 from ..machine.jit import create_executor
 from ..machine.perturb import NoiseModel
 from ..machine.profiler import TSProfile, profile_tuning_section
+from ..obs import Obs, collect_run, obs_or_null
 from ..runtime.instrument import TimedExecutor
 from ..runtime.ledger import TuningLedger
 from ..runtime.save_restore import SaveRestorePlan
@@ -118,6 +119,7 @@ class _RatingEngine:
                 self.tuner.machine,
                 program=self.workload.program,
                 checked=self.tuner.checked,
+                obs=self.tuner.obs,
             )
             self._version_cache[key] = v
         return v
@@ -221,6 +223,7 @@ class PeakTuner:
         use_version_cache: bool = True,
         use_prefix_cache: bool = True,
         exec_tier: int = 0,
+        obs: Obs | None = None,
     ) -> None:
         self.machine = machine
         self.seed = seed
@@ -243,6 +246,9 @@ class PeakTuner:
         #: execution tier for every simulated invocation (0 = paper-faithful
         #: interpreter, 1 = trace JIT; ratings are bit-identical either way)
         self.exec_tier = exec_tier
+        #: observability context (spans + metrics); the default NULL_OBS
+        #: makes every instrumentation site a near-free no-op
+        self.obs = obs_or_null(obs)
 
     # ------------------------------------------------------------------ #
 
@@ -293,6 +299,46 @@ class PeakTuner:
 
         flag_names = flags if flags is not None else tuple(f.name for f in ALL_FLAGS)
 
+        # the run root span: closed before collect_run so the whole tree is
+        # in the tracer's roots when coverage is computed
+        root = self.obs.span(
+            "tune", "engine",
+            workload=workload.name, machine=self.machine.name,
+            dataset=dataset, method=chosen,
+            search=type(self.search).__name__,
+        )
+        try:
+            result, ledger, method_used, methods_tried, n_rated, parent_cache = (
+                self._search(workload, dataset, chosen, flag_names, plan)
+            )
+        finally:
+            root.end()
+        self._collect(ledger, parent_cache)
+
+        return TuningResult(
+            workload=workload.name,
+            ts_name=workload.ts_name,
+            machine=self.machine.name,
+            dataset=dataset,
+            method_requested=method,
+            method_used=method_used,
+            methods_tried=methods_tried,
+            best_config=result.best_config,
+            search=result,
+            ledger=ledger,
+            plan=plan,
+            n_versions_rated=n_rated,
+        )
+
+    def _search(
+        self,
+        workload: Workload,
+        dataset: str,
+        chosen: str,
+        flag_names: tuple[str, ...],
+        plan: RatingPlan,
+    ):
+        """Step 3 on the engine the constructor selected."""
         if self.jobs is not None:
             # parallel batch engine: hermetic per-task rating contexts,
             # version cache, deterministic for any jobs/backend setting
@@ -321,42 +367,44 @@ class PeakTuner:
                 plan=plan,
                 jobs=self.jobs,
                 backend=self.parallel_backend,
+                obs=self.obs,
             ) as engine:
                 result = self.search.search(engine, flag_names, OptConfig.o3())
-                ledger = engine.ledger
-                method_used = engine.method
-                methods_tried = engine.methods_tried
-                n_rated = engine.n_rated
-        else:
-            ledger = TuningLedger()
-            ds = workload.dataset(dataset)
-            feed = InvocationFeed(
-                ds.generator, ds.n_invocations, ds.non_ts_cycles, ledger,
-                seed=self.seed,
-            )
-            timed = TimedExecutor(
-                self.machine, seed=self.seed, noise=self.noise, ledger=ledger,
-                exec_tier=self.exec_tier,
-            )
-            engine = _RatingEngine(self, workload, plan, feed, timed, chosen)
-            result = self.search.search(engine.rate, flag_names, OptConfig.o3())
-            method_used = engine.method
-            methods_tried = engine.methods_tried
-            n_rated = engine.n_rated
+                return (
+                    result, engine.ledger, engine.method,
+                    engine.methods_tried, engine.n_rated, engine.version_cache,
+                )
+        ledger = TuningLedger()
+        ds = workload.dataset(dataset)
+        feed = InvocationFeed(
+            ds.generator, ds.n_invocations, ds.non_ts_cycles, ledger,
+            seed=self.seed,
+        )
+        timed = TimedExecutor(
+            self.machine, seed=self.seed, noise=self.noise, ledger=ledger,
+            exec_tier=self.exec_tier, obs=self.obs,
+        )
+        engine = _RatingEngine(self, workload, plan, feed, timed, chosen)
+        result = self.search.search(engine.rate, flag_names, OptConfig.o3())
+        return (
+            result, ledger, engine.method, engine.methods_tried,
+            engine.n_rated, None,
+        )
 
-        return TuningResult(
-            workload=workload.name,
-            ts_name=workload.ts_name,
-            machine=self.machine.name,
-            dataset=dataset,
-            method_requested=method,
-            method_used=method_used,
-            methods_tried=methods_tried,
-            best_config=result.best_config,
-            search=result,
+    def _collect(self, ledger: TuningLedger, version_cache) -> None:
+        """End-of-run metrics sweep (no-op with observability disabled)."""
+        if not self.obs.enabled:
+            return
+        exec_cache = None
+        if self.exec_tier >= 1:
+            from ..machine.jit import global_executable_cache
+
+            exec_cache = global_executable_cache()
+        collect_run(
+            self.obs,
             ledger=ledger,
-            plan=plan,
-            n_versions_rated=n_rated,
+            version_cache=version_cache,
+            exec_cache=exec_cache,
         )
 
 

@@ -55,42 +55,62 @@ class ContextBasedRating:
         """Rate *version*, consuming invocations from *feed* until the
         dominant context's window converges (or the budget is exhausted)."""
         s = self.settings
+        obs = self.timed.obs
         buckets: dict[tuple, _Bucket] = {}
         consumed = 0
         target = s.window
 
-        while consumed < s.max_invocations:
-            env = feed.next_env()
-            key = context_key(self.analysis, env)
-            sample = self.timed.invoke(version, env)
-            consumed += 1
-            b = buckets.setdefault(key, _Bucket())
-            b.samples.append(sample.measured_cycles)
-            b.total_time += sample.measured_cycles
+        with obs.span("cbr.rate", "rating"):
+            win = obs.start("cbr.window", "rating", target=target)
+            while consumed < s.max_invocations:
+                env = feed.next_env()
+                key = context_key(self.analysis, env)
+                sample = self.timed.invoke(version, env)
+                consumed += 1
+                b = buckets.setdefault(key, _Bucket())
+                b.samples.append(sample.measured_cycles)
+                b.total_time += sample.measured_cycles
 
-            if consumed % max(4, s.window // 2) == 0 or consumed >= s.max_invocations:
-                dom = self._dominant(buckets)
-                if dom is None:
-                    continue
-                clean = filter_outliers(
-                    np.asarray(buckets[dom].samples), s.outlier_k
+                if consumed % max(4, s.window // 2) == 0 or consumed >= s.max_invocations:
+                    dom = self._dominant(buckets)
+                    if dom is None:
+                        continue
+                    clean = filter_outliers(
+                        np.asarray(buckets[dom].samples), s.outlier_k
+                    )
+                    if clean.size >= target:
+                        var = rating_var(clean)
+                        if var <= s.var_threshold:
+                            self._end_window(win, clean, var, consumed, True)
+                            return self._result(buckets, dom, clean, consumed, True)
+                        # grow the window (paper: VAR decreases with window size)
+                        if clean.size >= target * s.window_growth:
+                            target = int(target * s.window_growth)
+                            self._end_window(win, clean, var, consumed, False)
+                            win = obs.start("cbr.window", "rating", target=target)
+
+            dom = self._dominant(buckets)
+            if dom is None:
+                win.end(size=0, invocations=consumed, converged=False)
+                return RatingResult(
+                    self.name, float("nan"), float("inf"),
+                    Direction.LOWER_IS_BETTER,
+                    0, consumed, False, notes="no invocations observed",
                 )
-                if clean.size >= target:
-                    var = rating_var(clean)
-                    if var <= s.var_threshold:
-                        return self._result(buckets, dom, clean, consumed, True)
-                    # grow the window (paper: VAR decreases with window size)
-                    if clean.size >= target * s.window_growth:
-                        target = int(target * s.window_growth)
+            clean = filter_outliers(np.asarray(buckets[dom].samples), s.outlier_k)
+            self._end_window(win, clean, rating_var(clean), consumed, False)
+            return self._result(buckets, dom, clean, consumed, False)
 
-        dom = self._dominant(buckets)
-        if dom is None:
-            return RatingResult(
-                self.name, float("nan"), float("inf"), Direction.LOWER_IS_BETTER,
-                0, consumed, False, notes="no invocations observed",
-            )
-        clean = filter_outliers(np.asarray(buckets[dom].samples), s.outlier_k)
-        return self._result(buckets, dom, clean, consumed, False)
+    @staticmethod
+    def _end_window(win, clean: np.ndarray, var: float, consumed: int,
+                    converged: bool) -> None:
+        win.end(
+            size=int(clean.size),
+            eval=float(np.mean(clean)) if clean.size else None,
+            var=var,
+            invocations=consumed,
+            converged=converged,
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -99,6 +119,18 @@ class ContextBasedRating:
         if not buckets:
             return None
         return max(buckets, key=lambda k: buckets[k].total_time)
+
+    @staticmethod
+    def _stats(arr: np.ndarray) -> tuple[float, float]:
+        """(mean, rating_var) of *arr*, explicitly (nan, inf) when empty.
+
+        Calling ``np.mean``/``rating_var`` on an empty array would emit
+        RuntimeWarnings (and produce nan anyway); an empty context bucket is
+        a legitimate state, not a numerics accident, so guard it.
+        """
+        if arr.size == 0:
+            return float("nan"), float("inf")
+        return float(np.mean(arr)), rating_var(arr)
 
     def _result(
         self,
@@ -111,15 +143,13 @@ class ContextBasedRating:
         per_context = {}
         for key, b in buckets.items():
             arr = filter_outliers(np.asarray(b.samples), self.settings.outlier_k)
-            per_context[key] = (
-                float(np.mean(arr)) if arr.size else float("nan"),
-                rating_var(arr),
-                int(arr.size),
-            )
+            mean, var = self._stats(arr)
+            per_context[key] = (mean, var, int(arr.size))
+        eval_, var_ = self._stats(clean)
         return RatingResult(
             method=self.name,
-            eval=float(np.mean(clean)),
-            var=rating_var(clean),
+            eval=eval_,
+            var=var_,
             direction=Direction.LOWER_IS_BETTER,
             n_samples=int(clean.size),
             n_invocations=consumed,

@@ -30,14 +30,59 @@ from .outliers import filter_outliers
 __all__ = ["ModelBasedRating", "solve_component_times", "regression_var"]
 
 
+def _nnls(A: np.ndarray, b: np.ndarray, max_iter: int | None = None) -> np.ndarray:
+    """Non-negative least squares: ``argmin ||A x - b||`` s.t. ``x >= 0``.
+
+    Lawson–Hanson active-set algorithm in plain numpy (no scipy).  *A* is
+    (m, n), *b* is (m,); returns x of shape (n,).
+    """
+    m, n = A.shape
+    if max_iter is None:
+        max_iter = 3 * n
+    x = np.zeros(n)
+    passive = np.zeros(n, dtype=bool)
+    resid = b - A @ x
+    w = A.T @ resid
+    tol = 10.0 * np.finfo(float).eps * np.linalg.norm(A, 1) * (max(m, n) + 1)
+    for _ in range(max_iter):
+        if passive.all() or np.max(w[~passive], initial=-np.inf) <= tol:
+            break
+        # move the most negative-gradient variable into the passive set
+        j = int(np.argmax(np.where(passive, -np.inf, w)))
+        passive[j] = True
+        while True:
+            s = np.zeros(n)
+            s[passive], *_ = np.linalg.lstsq(A[:, passive], b, rcond=None)
+            if np.min(s[passive], initial=np.inf) > 0:
+                x = s
+                break
+            # step back to the boundary, drop variables pinned at zero
+            mask = passive & (s <= 0)
+            alpha = np.min(x[mask] / (x[mask] - s[mask]))
+            x = x + alpha * (s - x)
+            passive &= x > tol
+        resid = b - A @ x
+        w = A.T @ resid
+    return x
+
+
 def solve_component_times(Y: np.ndarray, C: np.ndarray) -> np.ndarray:
     """Solve ``Y = T · C`` for ``T`` by least squares (paper Eq. 3).
 
     *Y* is (n_invocations,), *C* is (n_components, n_invocations); returns
     ``T`` of shape (n_components,).
+
+    Component times are physical quantities, so the solution is constrained
+    to ``T >= 0``: with collinear component columns the unconstrained
+    solution can return large negative times whose combination ``T_avg``
+    looks plausible while the individual ``T_i`` (and any dominant-component
+    rating) are nonsense.  The unconstrained solution is kept whenever it is
+    already non-negative — in the well-conditioned case the two coincide.
     """
     T, *_ = np.linalg.lstsq(C.T, Y, rcond=None)
-    return T
+    if np.all(T >= 0):
+        return T
+    return _nnls(C.T, Y)
 
 
 def regression_var(Y: np.ndarray, C: np.ndarray, T: np.ndarray) -> float:
@@ -91,32 +136,52 @@ class ModelBasedRating:
                 "MBR needs a version compiled from the counter-instrumented TS"
             )
         s = self.settings
+        obs = self.timed.obs
         ys: list[float] = []
         cols: list[np.ndarray] = []
         consumed = 0
 
-        while consumed < s.max_invocations:
-            env = feed.next_env()
-            env = dict(env)
-            env[COUNTER_ARRAY] = fresh_counter_buffer(self.n_counters)
-            sample = self.timed.invoke(version, env)
-            consumed += 1
-            ys.append(sample.measured_cycles)
-            cols.append(read_counters(env))
+        with obs.span("mbr.rate", "rating", dominant=self.dominant):
+            win = obs.start("mbr.window", "rating")
+            while consumed < s.max_invocations:
+                env = feed.next_env()
+                env = dict(env)
+                env[COUNTER_ARRAY] = fresh_counter_buffer(self.n_counters)
+                sample = self.timed.invoke(version, env)
+                consumed += 1
+                ys.append(sample.measured_cycles)
+                cols.append(read_counters(env))
 
-            if consumed >= s.window and consumed % max(4, s.window // 2) == 0:
-                result = self._fit(ys, cols, consumed)
-                if result is not None and result.var <= self.var_threshold:
-                    result.converged = True
-                    return result
-        result = self._fit(ys, cols, consumed)
-        if result is None:
-            return RatingResult(
-                self.name, float("nan"), float("inf"), Direction.LOWER_IS_BETTER,
-                0, consumed, False, notes="regression singular",
-            )
-        result.converged = result.var <= self.var_threshold
-        return result
+                if consumed >= s.window and consumed % max(4, s.window // 2) == 0:
+                    result = self._fit(ys, cols, consumed)
+                    if result is not None and result.var <= self.var_threshold:
+                        result.converged = True
+                        self._end_window(win, result, consumed)
+                        return result
+                    if result is not None:
+                        self._end_window(win, result, consumed)
+                        win = obs.start("mbr.window", "rating")
+            result = self._fit(ys, cols, consumed)
+            if result is None:
+                win.end(size=0, invocations=consumed, converged=False)
+                return RatingResult(
+                    self.name, float("nan"), float("inf"),
+                    Direction.LOWER_IS_BETTER,
+                    0, consumed, False, notes="regression singular",
+                )
+            result.converged = result.var <= self.var_threshold
+            self._end_window(win, result, consumed)
+            return result
+
+    @staticmethod
+    def _end_window(win, result: RatingResult, consumed: int) -> None:
+        win.end(
+            size=result.n_samples,
+            eval=result.eval,
+            var=result.var,
+            invocations=consumed,
+            converged=result.converged,
+        )
 
     # ------------------------------------------------------------------ #
 

@@ -6,7 +6,8 @@ perturbations, such as interrupts."
 
 We use the robust median/MAD rule: a sample is an outlier when it lies more
 than ``k`` scaled MADs from the median.  With a degenerate MAD (many equal
-samples) a relative fallback of 3x the median applies.
+samples) a symmetric relative fallback applies: samples outside
+``[med/3, 3*med]`` are outliers.
 """
 
 from __future__ import annotations
@@ -22,8 +23,12 @@ _MAD_SCALE = 1.4826
 def filter_outliers(samples: np.ndarray, k: float = 8.0) -> np.ndarray:
     """Return *samples* with outliers removed (order preserved).
 
-    Never removes more than half of the data: if the rule would, the data is
+    Never removes half or more of the data: if the rule would, the data is
     not outlier-contaminated but genuinely spread, and everything is kept.
+
+    The degenerate-MAD fallback (many equal samples) is symmetric: samples
+    outside ``[med/3, 3*med]`` are dropped, so a 0-cycle mismeasurement is
+    eliminated just like a 10x interrupt spike.
     """
     x = np.asarray(samples, dtype=float)
     if x.size < 4:
@@ -33,9 +38,9 @@ def filter_outliers(samples: np.ndarray, k: float = 8.0) -> np.ndarray:
     if mad > 0:
         keep = np.abs(x - med) <= k * mad
     elif med > 0:
-        keep = x <= 3.0 * med
+        keep = (x <= 3.0 * med) & (x >= med / 3.0)
     else:
         return x
-    if keep.sum() < x.size // 2:
+    if keep.sum() <= x.size // 2:
         return x
     return x[keep]

@@ -50,6 +50,7 @@ class ReExecutionRating:
         self.timed = timed
         self.improved = improved
         self._swap = False
+        self._degenerate = 0
 
     # ------------------------------------------------------------------ #
 
@@ -61,31 +62,63 @@ class ReExecutionRating:
     ) -> RatingResult:
         """Produce the rating of *experimental* relative to *base*."""
         s = self.settings
+        obs = self.timed.obs
         ratios: list[float] = []
         consumed = 0
         target = s.window
+        self._degenerate = 0
 
-        while consumed < s.max_invocations:
-            env = feed.next_env()
-            consumed += 1
-            ratios.append(self._one_invocation(experimental, base, env))
+        with obs.span("rbr.rate", "rating", improved=self.improved):
+            win = obs.start("rbr.window", "rating", target=target)
+            while consumed < s.max_invocations:
+                env = feed.next_env()
+                consumed += 1
+                ratio = self._one_invocation(experimental, base, env)
+                if ratio is None:
+                    # degenerate measurement (non-positive time): one such
+                    # sample used to poison the whole window with inf/NaN
+                    continue
+                ratios.append(ratio)
 
-            if len(ratios) >= target:
-                clean = filter_outliers(np.asarray(ratios), s.outlier_k)
-                var = rating_var(clean)
-                if var <= s.var_threshold:
-                    return self._result(clean, consumed, True)
-                if len(ratios) >= target * s.window_growth:
-                    target = int(target * s.window_growth)
+                if len(ratios) >= target:
+                    clean = filter_outliers(np.asarray(ratios), s.outlier_k)
+                    var = rating_var(clean)
+                    if var <= s.var_threshold:
+                        self._end_window(win, clean, var, consumed, True)
+                        return self._result(clean, consumed, True)
+                    if len(ratios) >= target * s.window_growth:
+                        target = int(target * s.window_growth)
+                        self._end_window(win, clean, var, consumed, False)
+                        win = obs.start("rbr.window", "rating", target=target)
 
-        clean = filter_outliers(np.asarray(ratios), s.outlier_k)
-        return self._result(clean, consumed, False)
+            clean = filter_outliers(np.asarray(ratios), s.outlier_k)
+            var = rating_var(clean)
+            self._end_window(win, clean, var, consumed, False)
+            return self._result(clean, consumed, False)
+
+    @staticmethod
+    def _end_window(win, clean: np.ndarray, var: float, consumed: int,
+                    converged: bool) -> None:
+        win.end(
+            size=int(clean.size),
+            eval=float(np.mean(clean)) if clean.size else None,
+            var=var,
+            invocations=consumed,
+            converged=converged,
+        )
 
     # ------------------------------------------------------------------ #
 
     def _one_invocation(
         self, experimental: Version, base: Version, env: dict
-    ) -> float:
+    ) -> float | None:
+        """One A/B re-execution; returns the ratio or None if degenerate.
+
+        A non-positive measured time (noise can drive a tiny measurement
+        to or below zero) yields no meaningful ratio — returning ``inf``
+        here used to contaminate the window mean.  The caller drops the
+        sample and accounts it as ``degenerate_samples``.
+        """
         ledger = self.timed.ledger
         if self.improved:
             # Fig. 4: 1. swap  2. save  3. precondition  4. restore
@@ -116,13 +149,20 @@ class ReExecutionRating:
             t_base = self.timed.invoke(base, env).measured_cycles
             self.plan.restore(env, snap, ledger)
             t_exp = self.timed.invoke(experimental, env).measured_cycles
-        if t_exp <= 0:
-            return float("inf")
+        if t_exp <= 0 or t_base <= 0:
+            self._degenerate += 1
+            self.timed.obs.counter(
+                "rating.degenerate_samples", method=self.name
+            ).inc()
+            return None
         return t_base / t_exp
 
     def _result(
         self, clean: np.ndarray, consumed: int, converged: bool
     ) -> RatingResult:
+        notes = "improved" if self.improved else "basic"
+        if self._degenerate:
+            notes += f"; degenerate_samples={self._degenerate}"
         return RatingResult(
             method=self.name,
             eval=float(np.mean(clean)) if clean.size else float("nan"),
@@ -132,5 +172,5 @@ class ReExecutionRating:
             n_invocations=consumed,
             converged=converged,
             samples=clean,
-            notes="improved" if self.improved else "basic",
+            notes=notes,
         )

@@ -140,6 +140,7 @@ class ExecutableCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._lock = threading.Lock()
         self._entries: dict[str, TraceSet] = {}
 
@@ -156,6 +157,7 @@ class ExecutableCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def get(self, key: str) -> "TraceSet | None":
         with self._lock:
@@ -173,6 +175,7 @@ class ExecutableCache:
                 and len(self._entries) >= self.max_entries
             ):
                 self._entries.pop(next(iter(self._entries)))
+                self.evictions += 1
             self._entries[key] = traceset
 
 

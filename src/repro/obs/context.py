@@ -1,0 +1,73 @@
+"""The observability context: one tracer + one metrics registry.
+
+:class:`Obs` is the single handle instrumented code sees.  Components that
+accept an optional ``obs`` argument normalise it with :func:`obs_or_null`
+and call straight through — :data:`NULL_OBS` backs every call with shared
+no-op handles, so the disabled path costs one attribute check per
+instrumentation site and allocates nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["Obs", "NULL_OBS", "obs_or_null"]
+
+
+class Obs:
+    """Carrier for one run's tracer and metrics registry."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+    @classmethod
+    def create(cls) -> "Obs":
+        """A fresh, enabled observability context."""
+        return cls(Tracer(enabled=True), MetricsRegistry(enabled=True))
+
+    @classmethod
+    def disabled(cls) -> "Obs":
+        return cls(Tracer(enabled=False), MetricsRegistry(enabled=False))
+
+    # -- tracing --------------------------------------------------------- #
+
+    def span(self, name: str, category: str = "", **attrs: Any):
+        return self.tracer.start(name, category, **attrs)
+
+    #: explicit-start alias for open/close-mid-loop call sites
+    start = span
+
+    # -- metrics --------------------------------------------------------- #
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] | None = None, **labels: Any
+    ) -> Histogram:
+        return self.metrics.histogram(name, buckets, **labels)
+
+
+#: the shared disabled context — every ``obs=None`` resolves to this
+NULL_OBS = Obs.disabled()
+
+
+def obs_or_null(obs: Obs | None) -> Obs:
+    return obs if obs is not None else NULL_OBS

@@ -1,0 +1,308 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry absorbs the run-level accounting that previously lived in
+scattered ad-hoc counters — :class:`~repro.runtime.ledger.TuningLedger`
+categories, the three cache layers' hit/miss/eviction counts, JIT trace
+stats, per-method rating window sizes and convergence — into one
+schema-versioned document (:meth:`MetricsRegistry.to_dict`).
+
+Instruments are identified by ``(name, labels)``; labels are plain string
+pairs (``method="CBR"``).  Histograms use fixed bucket upper bounds so two
+registries (a worker's and the parent's) merge by adding bucket counts;
+percentiles are estimated from the cumulative bucket counts.
+
+A disabled registry hands out shared no-op instruments, so instrumented
+code needs no ``if enabled`` guards.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Iterable
+
+__all__ = [
+    "SCHEMA_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: schema tag stamped on every exported metrics document
+SCHEMA_METRICS = "repro.obs.metrics/1"
+
+#: default histogram bucket upper bounds: half-decade geometric ladder wide
+#: enough for cycle counts (1e0..1e9) and window sizes alike
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    b for e in range(10) for b in (10.0**e, 3.162 * 10.0**e)
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (cache sizes, hit rates, coverage)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max.
+
+    ``bounds`` are inclusive upper bounds; one overflow bucket catches
+    everything above the last bound.  Equal-``bounds`` histograms merge by
+    adding bucket counts, which is what makes worker registries foldable
+    into the parent's.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, bounds: Iterable[float] | None = None) -> None:
+        self.bounds = tuple(
+            sorted(bounds) if bounds is not None else DEFAULT_BUCKETS
+        )
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.count += 1
+        self.total += v
+        if v < self.vmin:
+            self.vmin = v
+        if v > self.vmax:
+            self.vmax = v
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bound >= v
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < v:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """Estimate the *p*-quantile (0..1) from the bucket counts.
+
+        Returns the upper bound of the bucket holding the quantile, clamped
+        to the observed min/max so exact extremes survive.
+        """
+        if self.count == 0:
+            return float("nan")
+        rank = p * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                upper = (
+                    self.bounds[i] if i < len(self.bounds) else self.vmax
+                )
+                return min(max(upper, self.vmin), self.vmax)
+        return self.vmax
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, v: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, v: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+_Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict[str, Any]) -> _Key:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Thread-safe home of every instrument of one run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[_Key, Counter] = {}
+        self._gauges: dict[_Key, Gauge] = {}
+        self._histograms: dict[_Key, Histogram] = {}
+
+    # -- pickling (worker registries travel inside task outcomes) -------- #
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- instrument access ---------------------------------------------- #
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        key = _key(name, labels)
+        c = self._counters.get(key)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(key, Counter())
+        return c
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        key = _key(name, labels)
+        g = self._gauges.get(key)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(key, Gauge())
+        return g
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        key = _key(name, labels)
+        h = self._histograms.get(key)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(key, Histogram(buckets))
+        return h
+
+    # -- merge ----------------------------------------------------------- #
+
+    def merge(self, other: "MetricsRegistry | None") -> None:
+        """Fold a worker registry into this one (counters add, gauges take
+        the worker's value, histograms merge bucket-wise)."""
+        if other is None or not other.enabled:
+            return
+        with self._lock:
+            for key, c in other._counters.items():
+                self._counters.setdefault(key, Counter()).value += c.value
+            for key, g in other._gauges.items():
+                self._gauges.setdefault(key, Gauge()).value = g.value
+            for key, h in other._histograms.items():
+                mine = self._histograms.get(key)
+                if mine is None:
+                    mine = self._histograms[key] = Histogram(h.bounds)
+                mine.merge(h)
+
+    # -- export ---------------------------------------------------------- #
+
+    @staticmethod
+    def _entry(key: _Key, **body: Any) -> dict:
+        name, labels = key
+        entry: dict[str, Any] = {"name": name}
+        if labels:
+            entry["labels"] = dict(labels)
+        entry.update(body)
+        return entry
+
+    def to_dict(self) -> dict:
+        """The schema-versioned metrics document."""
+
+        def finite(v: float) -> float | None:
+            return v if v == v and abs(v) != float("inf") else None
+
+        counters = [
+            self._entry(k, value=c.value)
+            for k, c in sorted(self._counters.items())
+        ]
+        gauges = [
+            self._entry(k, value=g.value)
+            for k, g in sorted(self._gauges.items())
+        ]
+        histograms = [
+            self._entry(
+                k,
+                count=h.count,
+                sum=h.total,
+                min=finite(h.vmin),
+                max=finite(h.vmax),
+                mean=finite(h.mean),
+                p50=finite(h.percentile(0.50)),
+                p90=finite(h.percentile(0.90)),
+                p99=finite(h.percentile(0.99)),
+                buckets=list(h.bounds),
+                counts=list(h.counts),
+            )
+            for k, h in sorted(self._histograms.items())
+        ]
+        return {
+            "schema": SCHEMA_METRICS,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    # -- convenience lookups (tests, report) ----------------------------- #
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        c = self._counters.get(_key(name, labels))
+        return c.value if c is not None else 0.0
+
+    def gauge_value(self, name: str, **labels: Any) -> float | None:
+        g = self._gauges.get(_key(name, labels))
+        return g.value if g is not None else None

@@ -1,0 +1,147 @@
+"""Schema validation for the exported observability documents.
+
+Pure-python structural validation (no jsonschema dependency): CI runs a
+smoke tuning run with ``--trace-out``/``--metrics-out`` and feeds the
+emitted files through :func:`validate_metrics_file` and
+:func:`validate_trace_file`; tests use the in-memory variants.
+``ValueError`` with a pinpointed message on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+from typing import Any
+
+from .metrics import SCHEMA_METRICS
+from .trace import SCHEMA_TRACE
+
+__all__ = [
+    "validate_metrics_doc",
+    "validate_metrics_file",
+    "validate_trace_record",
+    "validate_trace_file",
+]
+
+
+def _fail(path: str, message: str) -> None:
+    raise ValueError(f"{path}: {message}")
+
+
+def _need(obj: dict, key: str, types, path: str, *, nullable: bool = False):
+    if key not in obj:
+        _fail(path, f"missing key {key!r}")
+    value = obj[key]
+    if value is None and nullable:
+        return value
+    if not isinstance(value, types):
+        _fail(path, f"{key!r} has type {type(value).__name__}")
+    if isinstance(value, bool) and bool not in (
+        types if isinstance(types, tuple) else (types,)
+    ):
+        _fail(path, f"{key!r} is a bool where a number was expected")
+    return value
+
+
+_NUM = numbers.Real
+
+
+def _check_labels(entry: dict, path: str) -> None:
+    if "labels" not in entry:
+        return
+    labels = entry["labels"]
+    if not isinstance(labels, dict):
+        _fail(path, "labels must be an object")
+    for k, v in labels.items():
+        if not isinstance(k, str) or not isinstance(v, str):
+            _fail(path, f"label {k!r} must map str -> str")
+
+
+def validate_metrics_doc(doc: Any) -> None:
+    """Validate one ``--metrics-out`` document (raises ``ValueError``)."""
+    if not isinstance(doc, dict):
+        _fail("$", "document must be an object")
+    schema = _need(doc, "schema", str, "$")
+    if schema != SCHEMA_METRICS:
+        _fail("$.schema", f"expected {SCHEMA_METRICS!r}, got {schema!r}")
+    for section in ("counters", "gauges", "histograms"):
+        entries = _need(doc, section, list, "$")
+        for i, entry in enumerate(entries):
+            path = f"$.{section}[{i}]"
+            if not isinstance(entry, dict):
+                _fail(path, "entry must be an object")
+            _need(entry, "name", str, path)
+            _check_labels(entry, path)
+            if section in ("counters", "gauges"):
+                _need(entry, "value", _NUM, path)
+            else:
+                count = _need(entry, "count", int, path)
+                _need(entry, "sum", _NUM, path)
+                for k in ("min", "max", "mean", "p50", "p90", "p99"):
+                    _need(entry, k, _NUM, path, nullable=True)
+                buckets = _need(entry, "buckets", list, path)
+                counts = _need(entry, "counts", list, path)
+                if len(counts) != len(buckets) + 1:
+                    _fail(path, "counts must have len(buckets)+1 entries")
+                if sorted(buckets) != list(buckets):
+                    _fail(path, "buckets must be sorted")
+                if sum(counts) != count:
+                    _fail(path, "bucket counts do not sum to count")
+
+
+def validate_metrics_file(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    validate_metrics_doc(doc)
+    return doc
+
+
+def validate_trace_record(rec: Any, line: int = 0) -> None:
+    """Validate one span record of a ``--trace-out`` JSON-lines file."""
+    path = f"line {line}"
+    if not isinstance(rec, dict):
+        _fail(path, "record must be an object")
+    _need(rec, "id", int, path)
+    parent = _need(rec, "parent", int, path, nullable=True)
+    rid = rec["id"]
+    if parent is not None and parent >= rid:
+        _fail(path, "parent id must precede the span's id")
+    _need(rec, "name", str, path)
+    _need(rec, "cat", str, path)
+    _need(rec, "wall", _NUM, path)
+    _need(rec, "cycles", _NUM, path)
+    if "cycles_by_category" in rec:
+        by = rec["cycles_by_category"]
+        if not isinstance(by, dict) or not all(
+            isinstance(k, str) and isinstance(v, _NUM) for k, v in by.items()
+        ):
+            _fail(path, "cycles_by_category must map str -> number")
+    if "attrs" in rec and not isinstance(rec["attrs"], dict):
+        _fail(path, "attrs must be an object")
+
+
+def validate_trace_file(path: str) -> int:
+    """Validate a trace export; returns the number of span records."""
+    n = 0
+    seen_ids: set[int] = set()
+    with open(path) as fh:
+        header_line = fh.readline()
+        if not header_line:
+            _fail("line 1", "empty trace file")
+        header = json.loads(header_line)
+        if not isinstance(header, dict) or header.get("schema") != SCHEMA_TRACE:
+            _fail("line 1", f"header must carry schema={SCHEMA_TRACE!r}")
+        if not isinstance(header.get("unattributed", {}), dict):
+            _fail("line 1", "unattributed must be an object")
+        for i, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            rec = json.loads(line)
+            validate_trace_record(rec, i)
+            if rec["id"] in seen_ids:
+                _fail(f"line {i}", f"duplicate span id {rec['id']}")
+            if rec["parent"] is not None and rec["parent"] not in seen_ids:
+                _fail(f"line {i}", f"parent {rec['parent']} not yet emitted")
+            seen_ids.add(rec["id"])
+            n += 1
+    return n

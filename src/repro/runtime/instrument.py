@@ -18,6 +18,7 @@ from ..machine.config import MachineConfig
 from ..machine.executor import InvocationResult
 from ..machine.jit import create_executor
 from ..machine.perturb import NoiseModel
+from ..obs import Obs, obs_or_null
 from .ledger import TuningLedger
 
 __all__ = ["TimedExecutor", "TimedSample", "COUNTER_COST_CYCLES", "TIMER_COST_CYCLES"]
@@ -49,6 +50,7 @@ class TimedExecutor:
         noise: NoiseModel | None = None,
         ledger: TuningLedger | None = None,
         exec_tier: int = 0,
+        obs: Obs | None = None,
     ) -> None:
         self.machine = machine
         # Tier 0 = closure interpreter, Tier 1 = trace JIT (bit-identical
@@ -57,6 +59,12 @@ class TimedExecutor:
         self.noise = noise if noise is not None else NoiseModel.for_machine(machine)
         self.rng = np.random.default_rng(seed)
         self.ledger = ledger if ledger is not None else TuningLedger()
+        # the executor is the carrier every rating method reaches obs
+        # through; attaching the tracer here routes the ledger's cycle
+        # charges into the current span
+        self.obs = obs_or_null(obs)
+        if self.obs.tracer.enabled:
+            self.ledger.attach_tracer(self.obs.tracer)
 
     def invoke(
         self,
@@ -75,25 +83,27 @@ class TimedExecutor:
         that the counters slightly perturb measurements.
         """
         want_counts = count_blocks or bool(counter_blocks)
-        res: InvocationResult = self.executor.run(
-            version.exe,
-            env,
-            factors=version.factors,
-            count_blocks=want_counts,
-        )
-        counter_overhead = 0.0
-        if counter_blocks and res.block_counts is not None:
-            increments = sum(res.block_counts.get(b, 0) for b in counter_blocks)
-            counter_overhead = increments * COUNTER_COST_CYCLES
-            self.ledger.charge("instrumentation", counter_overhead)
-        self.ledger.charge_invocation(res.cycles)
-        if timed:
-            self.ledger.charge("instrumentation", TIMER_COST_CYCLES)
-            measured = self.noise.sample(
-                res.cycles + counter_overhead + TIMER_COST_CYCLES, self.rng
+        with self.obs.span("invoke", "exec"):
+            res: InvocationResult = self.executor.run(
+                version.exe,
+                env,
+                factors=version.factors,
+                count_blocks=want_counts,
             )
-        else:
-            measured = res.cycles
+            counter_overhead = 0.0
+            if counter_blocks and res.block_counts is not None:
+                increments = sum(res.block_counts.get(b, 0) for b in counter_blocks)
+                counter_overhead = increments * COUNTER_COST_CYCLES
+                self.ledger.charge("instrumentation", counter_overhead)
+            self.ledger.charge_invocation(res.cycles)
+            if timed:
+                self.ledger.charge("instrumentation", TIMER_COST_CYCLES)
+                measured = self.noise.sample(
+                    res.cycles + counter_overhead + TIMER_COST_CYCLES, self.rng
+                )
+            else:
+                measured = res.cycles
+        self.obs.histogram("exec.invocation_cycles").observe(res.cycles)
         return TimedSample(
             measured_cycles=measured,
             true_cycles=res.cycles,

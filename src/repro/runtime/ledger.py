@@ -29,7 +29,18 @@ __all__ = ["TuningLedger"]
 
 @dataclass
 class TuningLedger:
-    """Accumulates the cost of a tuning process."""
+    """Accumulates the cost of a tuning process.
+
+    A tracer attached with :meth:`attach_tracer` receives every ``charge``
+    (as ``tracer.add_cycles(category, cycles)``), which is how the
+    observability layer attributes 100% of ledger-charged cycles to the
+    span tree without a second accounting path.  The tracer is process-local
+    bookkeeping and is dropped on pickling (task outcomes carry their spans
+    separately).
+    """
+
+    #: attached span tracer (class default None; never pickled)
+    _tracer = None
 
     by_category: dict[str, float] = field(default_factory=dict)
     invocations: int = 0
@@ -46,10 +57,24 @@ class TuningLedger:
     #: wall-clock seconds of rating work, per worker label
     wall_by_worker: dict[str, float] = field(default_factory=dict)
 
+    def attach_tracer(self, tracer) -> None:
+        """Mirror every subsequent charge into *tracer*'s current span."""
+        self._tracer = tracer
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_tracer", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
     def charge(self, category: str, cycles: float) -> None:
         if cycles < 0:
             raise ValueError("cannot charge negative cycles")
         self.by_category[category] = self.by_category.get(category, 0.0) + cycles
+        if self._tracer is not None:
+            self._tracer.add_cycles(category, cycles)
 
     def charge_invocation(self, cycles: float) -> None:
         self.charge("ts", cycles)

@@ -1,0 +1,174 @@
+"""MetricsRegistry unit tests: instruments, merge, export, validation."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    SCHEMA_METRICS,
+    validate_metrics_doc,
+    validate_metrics_file,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        m.counter("c").inc(2.5)
+        assert m.counter_value("c") == 3.5
+
+    def test_labels_separate_instruments(self):
+        m = MetricsRegistry()
+        m.counter("c", method="CBR").inc()
+        m.counter("c", method="RBR").inc(5)
+        assert m.counter_value("c", method="CBR") == 1
+        assert m.counter_value("c", method="RBR") == 5
+        assert m.counter_value("c") == 0  # unlabelled is distinct
+
+    def test_label_values_are_stringified(self):
+        m = MetricsRegistry()
+        m.counter("c", tier=1).inc()
+        assert m.counter_value("c", tier="1") == 1
+
+    def test_gauge_keeps_last_value(self):
+        m = MetricsRegistry()
+        m.gauge("g").set(1)
+        m.gauge("g").set(0.25)
+        assert m.gauge_value("g") == 0.25
+        assert m.gauge_value("missing") is None
+
+    def test_disabled_registry_hands_out_noops(self):
+        m = MetricsRegistry(enabled=False)
+        m.counter("c").inc()
+        m.gauge("g").set(1)
+        m.histogram("h").observe(3)
+        doc = m.to_dict()
+        assert doc["counters"] == doc["gauges"] == doc["histograms"] == []
+
+
+class TestHistogram:
+    def test_counts_and_moments(self):
+        h = Histogram(bounds=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.total == 555.5
+        assert h.vmin == 0.5 and h.vmax == 500
+        assert h.mean == pytest.approx(138.875)
+
+    def test_bucket_bounds_are_inclusive(self):
+        h = Histogram(bounds=(10,))
+        h.observe(10)
+        assert h.counts == [1, 0]
+
+    def test_percentiles_track_the_distribution(self):
+        h = Histogram()
+        rng = np.random.default_rng(0)
+        data = rng.uniform(1, 1000, size=2000)
+        for v in data:
+            h.observe(v)
+        # bucketed estimate: within one half-decade bucket of the truth
+        assert h.percentile(0.5) <= 10 * np.percentile(data, 50)
+        assert h.percentile(0.5) >= np.percentile(data, 50) / 10
+        assert h.percentile(0.99) >= h.percentile(0.5)
+        assert h.percentile(1.0) == h.vmax
+
+    def test_empty_percentile_is_nan(self):
+        assert np.isnan(Histogram().percentile(0.5))
+
+    def test_merge_adds_buckets(self):
+        a, b = Histogram(bounds=(1, 10)), Histogram(bounds=(1, 10))
+        a.observe(0.5)
+        b.observe(5)
+        b.observe(50)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.vmin == 0.5 and a.vmax == 50
+
+    def test_merge_rejects_different_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1,)).merge(Histogram(bounds=(2,)))
+
+
+class TestRegistryMerge:
+    def test_worker_registry_folds_into_parent(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("c").inc(1)
+        worker.counter("c").inc(2)
+        worker.gauge("g").set(7)
+        worker.histogram("h", buckets=(1, 10)).observe(5)
+        parent.merge(worker)
+        assert parent.counter_value("c") == 3
+        assert parent.gauge_value("g") == 7
+        doc = parent.to_dict()
+        (h,) = doc["histograms"]
+        assert h["count"] == 1
+
+    def test_merge_none_or_disabled_is_noop(self):
+        parent = MetricsRegistry()
+        parent.merge(None)
+        parent.merge(MetricsRegistry(enabled=False))
+        assert parent.to_dict()["counters"] == []
+
+    def test_registry_pickles_across_process_boundary(self):
+        m = MetricsRegistry()
+        m.counter("c", k="v").inc(3)
+        m.histogram("h").observe(2)
+        clone = pickle.loads(pickle.dumps(m))
+        assert clone.counter_value("c", k="v") == 3
+        parent = MetricsRegistry()
+        parent.merge(clone)
+        assert parent.counter_value("c", k="v") == 3
+
+
+class TestExport:
+    def _registry(self):
+        m = MetricsRegistry()
+        m.counter("ledger.cycles", category="ts").inc(100)
+        m.gauge("trace.coverage").set(1.0)
+        h = m.histogram("exec.invocation_cycles")
+        for v in (1, 10, 100):
+            h.observe(v)
+        m.histogram("empty")  # zero observations: min/max/mean null
+        return m
+
+    def test_doc_is_schema_versioned_and_valid(self):
+        doc = self._registry().to_dict()
+        assert doc["schema"] == SCHEMA_METRICS
+        validate_metrics_doc(doc)
+        empty = [h for h in doc["histograms"] if h["name"] == "empty"][0]
+        assert empty["min"] is None and empty["mean"] is None
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        self._registry().write_json(path)
+        doc = validate_metrics_file(path)
+        assert doc["counters"][0]["labels"] == {"category": "ts"}
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d.pop("schema"), "missing key 'schema'"),
+            (lambda d: d.update(schema="bogus/9"), "expected"),
+            (lambda d: d["counters"][0].pop("value"), "missing key 'value'"),
+            (lambda d: d["counters"][0].update(labels={"k": 1}), "label"),
+            (lambda d: d["histograms"][0]["counts"].append(1), "counts"),
+            (
+                lambda d: d["histograms"][0].update(
+                    buckets=list(reversed(d["histograms"][0]["buckets"]))
+                ),
+                "sorted",
+            ),
+        ],
+    )
+    def test_validation_catches_malformed_docs(self, mutate, message):
+        doc = self._registry().to_dict()
+        mutate(doc)
+        with pytest.raises(ValueError, match=message):
+            validate_metrics_doc(doc)

@@ -1,0 +1,228 @@
+"""Tracer/Span unit tests: nesting, cycle attribution, merge, export."""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import NULL_OBS, Obs, Tracer, validate_trace_file
+from repro.obs.trace import NULL_HANDLE
+from repro.runtime import TuningLedger
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        t = Tracer()
+        with t.span("outer", "engine"):
+            with t.span("inner", "rating"):
+                pass
+            with t.span("inner2", "rating"):
+                pass
+        assert len(t.roots) == 1
+        root = t.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner", "inner2"]
+        assert t.span_count() == 3
+
+    def test_attrs_at_start_set_and_end(self):
+        t = Tracer()
+        with t.span("s", "x", a=1) as sp:
+            sp.set("b", 2)
+        t.roots[0].attrs["c"] = None
+        assert t.roots[0].attrs == {"a": 1, "b": 2, "c": None}
+
+    def test_explicit_end_is_idempotent(self):
+        t = Tracer()
+        h = t.start("w", "rating")
+        h.end(size=3)
+        h.end(size=99)  # ignored
+        assert t.roots[0].attrs == {"size": 3}
+        assert t.current() is None
+
+    def test_wall_clock_is_recorded(self):
+        t = Tracer()
+        with t.span("s"):
+            pass
+        assert t.roots[0].wall >= 0.0
+
+    def test_disabled_tracer_returns_shared_null_handle(self):
+        t = Tracer(enabled=False)
+        h = t.start("s", "x", a=1)
+        assert h is NULL_HANDLE
+        with h as sp:
+            sp.set("k", "v")
+        h.end(anything=1)
+        assert t.roots == []
+
+    def test_unbalanced_end_recovers(self):
+        t = Tracer()
+        outer = t.start("outer")
+        inner = t.start("inner")
+        outer.end()  # out of order: inner is still open
+        inner.end()
+        # recovery keeps every span in the tree (outer lands under the span
+        # that was still open) and leaves the stack clean
+        assert [r.name for r in t.roots] == ["inner"]
+        assert [c.name for c in t.roots[0].children] == ["outer"]
+        assert t.current() is None
+
+
+class TestCycleAttribution:
+    def test_ledger_charges_land_in_current_span(self):
+        t = Tracer()
+        ledger = TuningLedger()
+        ledger.attach_tracer(t)
+        with t.span("outer"):
+            ledger.charge("ts", 100.0)
+            with t.span("inner"):
+                ledger.charge("ts", 7.0)
+                ledger.charge("save", 3.0)
+        root = t.roots[0]
+        assert root.cycles == 100.0
+        inner = root.children[0]
+        assert inner.cycles == 10.0
+        assert inner.cycles_by_category == {"ts": 7.0, "save": 3.0}
+        assert root.total_cycles() == 110.0
+        assert t.attributed_cycles() == ledger.total_cycles
+        assert t.coverage(ledger.total_cycles) == pytest.approx(1.0)
+
+    def test_charge_outside_any_span_is_unattributed(self):
+        t = Tracer()
+        ledger = TuningLedger()
+        ledger.attach_tracer(t)
+        ledger.charge("ts", 5.0)
+        assert t.unattributed == {"ts": 5.0}
+        assert t.attributed_cycles() == 0.0
+
+    def test_detached_ledger_pickles_without_tracer(self):
+        ledger = TuningLedger()
+        ledger.attach_tracer(Tracer())
+        clone = pickle.loads(pickle.dumps(ledger))
+        assert clone._tracer is None
+        clone.charge("ts", 1.0)  # must not blow up
+
+    def test_threads_attribute_to_their_own_spans(self):
+        t = Tracer()
+        ledger = TuningLedger()
+        ledger.attach_tracer(t)
+
+        def work(name):
+            with t.span(name):
+                ledger.charge("ts", 1.0)
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(t.roots) == 4
+        assert all(r.cycles == 1.0 for r in t.roots)
+
+
+class TestMerge:
+    def test_adopt_grafts_under_current_span(self):
+        worker = Tracer()
+        with worker.span("task"):
+            pass
+        parent = Tracer()
+        with parent.span("batch"):
+            parent.adopt(worker.roots)
+        assert parent.roots[0].children[0].name == "task"
+
+    def test_adopt_with_no_open_span_appends_roots(self):
+        worker = Tracer()
+        with worker.span("task"):
+            pass
+        parent = Tracer()
+        parent.adopt(worker.roots)
+        assert [r.name for r in parent.roots] == ["task"]
+
+    def test_spans_survive_pickling(self):
+        t = Tracer()
+        ledger = TuningLedger()
+        ledger.attach_tracer(t)
+        with t.span("task", "engine", task_id=3):
+            ledger.charge("ts", 42.0)
+        clone = pickle.loads(pickle.dumps(t.roots))
+        assert clone[0].name == "task"
+        assert clone[0].cycles == 42.0
+        assert clone[0].attrs == {"task_id": 3}
+
+    def test_absorb_unattributed(self):
+        parent = Tracer()
+        parent.absorb_unattributed({"ts": 2.0})
+        parent.absorb_unattributed({"ts": 1.0, "save": 4.0})
+        assert parent.unattributed == {"ts": 3.0, "save": 4.0}
+
+
+class TestExport:
+    def _sample_tracer(self):
+        t = Tracer()
+        ledger = TuningLedger()
+        ledger.attach_tracer(t)
+        with t.span("tune", "engine", workload="swim"):
+            with t.span("compile", "compiler"):
+                pass
+            with t.span("invoke", "exec"):
+                ledger.charge("ts", 9.0)
+        ledger.charge("other", 1.0)  # outside any span
+        return t
+
+    def test_records_are_parent_before_child(self):
+        t = self._sample_tracer()
+        recs = list(t.to_records())
+        seen = set()
+        for rec in recs:
+            assert rec["parent"] is None or rec["parent"] in seen
+            seen.add(rec["id"])
+        assert [r["name"] for r in recs] == ["tune", "compile", "invoke"]
+
+    def test_jsonl_roundtrip_validates(self, tmp_path):
+        t = self._sample_tracer()
+        path = str(tmp_path / "trace.jsonl")
+        n = t.write_jsonl(path)
+        assert n == 3 == validate_trace_file(path)
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+        assert header["unattributed"] == {"other": 1.0}
+
+    def test_validation_rejects_orphan_parent(self, tmp_path):
+        t = self._sample_tracer()
+        path = str(tmp_path / "trace.jsonl")
+        t.write_jsonl(path)
+        lines = open(path).read().splitlines()
+        bad = json.loads(lines[1])
+        bad["parent"] = 99
+        bad["id"] = 100
+        with open(path, "a") as fh:
+            fh.write(json.dumps(bad) + "\n")
+        with pytest.raises(ValueError, match="parent"):
+            validate_trace_file(path)
+
+    def test_non_json_attrs_are_stringified(self, tmp_path):
+        t = Tracer()
+        with t.span("s", key=("a", 1), obj=object()):
+            pass
+        (rec,) = t.to_records()
+        assert rec["attrs"]["key"] == ["a", 1]
+        assert isinstance(rec["attrs"]["obj"], str)
+        path = str(tmp_path / "t.jsonl")
+        t.write_jsonl(path)
+        assert validate_trace_file(path) == 1
+
+
+class TestObsContext:
+    def test_null_obs_is_fully_disabled(self):
+        assert not NULL_OBS.enabled
+        assert NULL_OBS.span("x") is NULL_HANDLE
+        NULL_OBS.counter("c").inc()
+        NULL_OBS.histogram("h").observe(1.0)
+        assert NULL_OBS.metrics.to_dict()["counters"] == []
+
+    def test_create_is_enabled(self):
+        obs = Obs.create()
+        assert obs.enabled
+        with obs.span("s"):
+            pass
+        assert obs.tracer.span_count() == 1
